@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_e*.py`` regenerates one experiment of DESIGN.md §4: it runs
+the experiment rows, asserts the claim's *shape*, writes the table to
+``benchmarks/results/``, and times a representative unit with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+or execute any module directly (``python benchmarks/bench_e1_separator_rounds.py``)
+to print its table without timing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List
+
+from repro.analysis import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+__all__ = ["RESULTS_DIR", "emit"]
+
+
+def emit(name: str, rows: List[Dict], title: str) -> str:
+    """Render, persist and print one experiment table."""
+    table = render_table(rows, title)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(table)
+    print()
+    print(table)
+    return table

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the core operations (library performance suite).
+
+Not tied to a paper claim — this is the operational profile a downstream
+user cares about: how long the embedding, configuration, weight sweep,
+separator and DFS take at a representative size.  Regressions here flag
+accidental quadratic behaviour in the face machinery.
+"""
+
+import networkx as nx
+
+from repro.applications import biconnectivity
+from repro.core.config import PlanarConfiguration
+from repro.core.dfs import dfs_tree
+from repro.core.faces import face_view
+from repro.core.separator import cycle_separator
+from repro.core.subroutines import dfs_order_phases
+from repro.core.weights import weight
+from repro.planar import embed
+from repro.planar import generators as gen
+from repro.trees import bfs_tree
+
+N = 600
+GRAPH = gen.delaunay(N, seed=7)
+ROTATION = embed(GRAPH)
+CONFIG = PlanarConfiguration.build(GRAPH, root=0)
+EDGES = CONFIG.real_fundamental_edges()
+
+
+def test_micro_embedding(benchmark):
+    benchmark(lambda: embed(GRAPH))
+
+
+def test_micro_configuration(benchmark):
+    tree = bfs_tree(GRAPH, 0)
+    benchmark(lambda: PlanarConfiguration(GRAPH, ROTATION, tree))
+
+
+def test_micro_weight_sweep(benchmark):
+    def sweep():
+        return [weight(CONFIG, face_view(CONFIG, e)) for e in EDGES]
+
+    result = benchmark(sweep)
+    assert len(result) == len(EDGES)
+
+
+def test_micro_largest_interior(benchmark):
+    views = [face_view(CONFIG, e) for e in EDGES[:50]]
+
+    def interiors():
+        return max(len(v.interior()) for v in views)
+
+    benchmark(interiors)
+
+
+def test_micro_separator(benchmark):
+    benchmark(lambda: cycle_separator(CONFIG))
+
+
+def test_micro_dfs(benchmark):
+    small = gen.delaunay(250, seed=7)
+    benchmark(lambda: dfs_tree(small, 0))
+
+
+def test_micro_dfs_order_phases(benchmark):
+    benchmark(lambda: dfs_order_phases(CONFIG))
+
+
+def test_micro_biconnectivity(benchmark):
+    small = gen.random_planar(250, density=0.5, seed=7)
+    benchmark(lambda: biconnectivity(small))

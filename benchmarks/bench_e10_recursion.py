@@ -1,0 +1,28 @@
+"""E10 — Theorem 2's recursion: O(log n) phases, 2/3-factor shrink.
+
+Regenerates the main-loop table: phases against log2 n and the worst
+per-phase component shrink factor.  Shape: phases stay within a small
+multiple of log2 n; every non-final phase shrinks the largest remaining
+component to at most 2/3 of its size.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.dfs import dfs_tree
+from repro.planar import generators as gen
+
+
+def test_e10_recursion(benchmark):
+    rows = experiments.e10_recursion()
+    emit("e10_recursion.txt", rows, "E10 - DFS main-loop phases and shrink factors")
+    for row in rows:
+        assert row["phases"] <= 3 * row["log2n"] + 3, row
+        assert row["max_shrink_factor"] <= row["bound"] + 1e-9, row
+
+    g = gen.cylinder(4, 40)
+    benchmark(lambda: dfs_tree(g, 0))
+
+
+if __name__ == "__main__":
+    emit("e10_recursion.txt", experiments.e10_recursion(),
+         "E10 - DFS main-loop phases and shrink factors")

@@ -1,0 +1,33 @@
+"""E11 — ablation: the proof-gap repairs are load-bearing.
+
+Regenerates the failure-rate table with each DESIGN.md §3 repair disabled.
+Shape: the shipped configuration never fails; removing Phase 3b and the
+verify-and-fallback emission reintroduces the unbalanced outputs on the
+degenerate spanning-tree instances (grid DFS snakes, wheels with random
+trees) that the errata describe.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.config import PlanarConfiguration
+from repro.core.separator import cycle_separator
+from repro.planar import generators as gen
+from repro.trees import dfs_spanning_tree
+
+
+def test_e11_ablation(benchmark):
+    rows = experiments.e11_ablation(seeds=range(6))
+    emit("e11_ablation.txt", rows, "E11 - ablation of the reproduction's repairs")
+    by = {r["variant"]: r for r in rows}
+    assert by["full (as shipped)"]["failure_rate"] == 0.0
+    assert by["paper-as-stated"]["failure_rate"] > 0.0
+    assert by["paper-as-stated"]["failure_rate"] >= by["no-emit-check"]["failure_rate"]
+
+    g = gen.grid(8, 8)
+    cfg = PlanarConfiguration.build(g, root=1, tree=dfs_spanning_tree(g, 1))
+    benchmark(lambda: cycle_separator(cfg))
+
+
+if __name__ == "__main__":
+    emit("e11_ablation.txt", experiments.e11_ablation(seeds=range(6)),
+         "E11 - ablation of the reproduction's repairs")

@@ -1,0 +1,27 @@
+"""E12 — separator hierarchies: O(log n) divide-and-conquer depth.
+
+Regenerates the hierarchy-depth table (the introduction's application of
+separators).  Shape: depth stays at or below log_{3/2}(n) + O(1) across
+families while n grows 9x, and the elimination order is a permutation of
+the nodes (asserted inside the runner).
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.applications import build_hierarchy
+from repro.planar import generators as gen
+
+
+def test_e12_hierarchy(benchmark):
+    rows = experiments.e12_hierarchy()
+    emit("e12_hierarchy.txt", rows, "E12 - separator hierarchy depth vs log n")
+    for row in rows:
+        assert row["depth"] <= row["log_1.5(n)"] + 4, row
+
+    g = gen.delaunay(225, seed=0)
+    benchmark(lambda: build_hierarchy(g))
+
+
+if __name__ == "__main__":
+    emit("e12_hierarchy.txt", experiments.e12_hierarchy(),
+         "E12 - separator hierarchy depth vs log n")

@@ -1,0 +1,30 @@
+"""E13 — the ledger charge upper-bounds measured message-level rounds.
+
+Regenerates the cross-layer table: one part-wise aggregation run on the
+real simulator (pipelined upcast over tree-restricted shortcuts) versus the
+c + d the ledger charges for it.  Shape: measured <= charged on every row —
+the guarantee that makes E1/E2's charged round counts trustworthy.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.congest import partwise_aggregation_run
+from repro.planar import generators as gen
+
+
+def test_e13_charge_honesty(benchmark):
+    rows = experiments.e13_charge_honesty()
+    emit("e13_charge_honesty.txt", rows, "E13 - measured PA rounds vs ledger charge")
+    for row in rows:
+        assert row["measured_rounds"] <= row["charged_c+d"], row
+
+    g = gen.grid(8, 8)
+    nodes = sorted(g.nodes)
+    parts = [nodes[i: i + 16] for i in range(0, 64, 16)]
+    values = {v: 1 for v in g.nodes}
+    benchmark(lambda: partwise_aggregation_run(g, parts, values))
+
+
+if __name__ == "__main__":
+    emit("e13_charge_honesty.txt", experiments.e13_charge_honesty(),
+         "E13 - measured PA rounds vs ledger charge")

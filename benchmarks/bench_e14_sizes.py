@@ -1,0 +1,29 @@
+"""E14 — separator sizes: cycle separators vs the Lipton-Tarjan baseline.
+
+Regenerates the size comparison table.  Shape: on triangulation-like
+families both algorithms stay in the fundamental-cycle regime (<= 2r + 1);
+cycle separators may exceed sqrt(n) on sparse families — the structural
+trade-off the paper makes deliberately (the DFS-RULE needs paths, not small
+sets).
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.baselines import lipton_tarjan_separator
+from repro.planar import generators as gen
+
+
+def test_e14_sizes(benchmark):
+    rows = experiments.e14_separator_sizes()
+    emit("e14_separator_sizes.txt", rows, "E14 - separator sizes vs baselines")
+    for row in rows:
+        assert row["lipton_tarjan"] <= row["2r+1"], row
+        assert row["ours"] >= 1
+
+    g = gen.delaunay(300, seed=0)
+    benchmark(lambda: lipton_tarjan_separator(g))
+
+
+if __name__ == "__main__":
+    emit("e14_separator_sizes.txt", experiments.e14_separator_sizes(),
+         "E14 - separator sizes vs baselines")

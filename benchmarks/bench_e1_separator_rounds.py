@@ -1,0 +1,40 @@
+"""E1 — Theorem 1: cycle-separator round complexity is Õ(D).
+
+Regenerates the scaling table: charged CONGEST rounds of the deterministic
+separator across graph families and sizes, normalized by D·log²n.  The
+claim's shape: the normalized column stays bounded as n grows (no n- or
+n^0.5-type growth beyond the diameter's own).
+"""
+
+import networkx as nx
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.config import PlanarConfiguration
+from repro.core.separator import cycle_separator
+from repro.planar import generators as gen
+
+SIZES = (100, 225, 400, 900, 1600)
+
+
+def test_e1_separator_rounds(benchmark):
+    rows = experiments.e1_separator_rounds(sizes=SIZES)
+    emit("e1_separator_rounds.txt", rows, "E1 - separator charged rounds vs n (Thm 1)")
+    by_family = {}
+    for row in rows:
+        by_family.setdefault(row["family"], []).append(row)
+    for family, series in by_family.items():
+        series.sort(key=lambda r: r["n"])
+        # Shape: normalized rounds do not blow up with n (allow 3x drift of
+        # the smallest instance's constant).
+        base = max(series[0]["rounds/(D*log2n^2)"], 1e-9)
+        assert series[-1]["rounds/(D*log2n^2)"] <= 4 * base + 8, family
+
+    g = gen.delaunay(400, seed=0)
+    cfg = PlanarConfiguration.build(g, root=0)
+    benchmark(lambda: cycle_separator(cfg))
+
+
+if __name__ == "__main__":
+    emit("e1_separator_rounds.txt", experiments.e1_separator_rounds(sizes=SIZES),
+         "E1 - separator charged rounds vs n (Thm 1)")

@@ -1,0 +1,42 @@
+"""E2 — Theorem 2 vs Awerbuch '85: Õ(D) vs Θ(n) DFS rounds.
+
+Regenerates the comparison table on square grids (D ~ 2·sqrt(n)) and
+Apollonian stacked triangulations (D ~ log n).  Shape: Awerbuch's measured
+rounds grow linearly in n (rounds/n roughly constant in [1, 4]); the
+deterministic algorithm's charged rounds track D·polylog(n), so on the
+low-diameter family Awerbuch's rounds catch up to and overtake the charged
+deterministic rounds as n grows.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.congest import awerbuch_dfs_run
+from repro.core.dfs import dfs_tree
+from repro.planar import generators as gen
+
+SIZES = (64, 144, 256, 484)
+
+
+def test_e2_dfs_rounds(benchmark):
+    rows = experiments.e2_dfs_rounds(sizes=SIZES)
+    emit("e2_dfs_rounds.txt", rows, "E2 - deterministic DFS (charged) vs Awerbuch (measured)")
+    for row in rows:
+        assert row["awerbuch_rounds"] >= row["n"]          # Θ(n) floor
+        assert row["awerbuch_rounds"] <= 4 * row["n"] + 8  # Awerbuch's bound
+    low_d = sorted((r for r in rows if r["family"] == "apollonian"), key=lambda r: r["n"])
+    # On the low-diameter family the Θ(n) baseline loses ground: Awerbuch's
+    # rounds grow strictly relative to the Õ(D) charged rounds.
+    first = low_d[0]["awerbuch_rounds"] / low_d[0]["det_rounds"]
+    last = low_d[-1]["awerbuch_rounds"] / low_d[-1]["det_rounds"]
+    assert last >= first
+    grid = sorted((r for r in rows if r["family"] == "grid"), key=lambda r: r["n"])
+    base = grid[1]["det/(D*log2n^2)"]
+    assert grid[-1]["det/(D*log2n^2)"] <= 4 * base + 8
+
+    g = gen.grid(10, 10)
+    benchmark(lambda: dfs_tree(g, 0))
+
+
+if __name__ == "__main__":
+    emit("e2_dfs_rounds.txt", experiments.e2_dfs_rounds(sizes=SIZES),
+         "E2 - deterministic DFS (charged) vs Awerbuch (measured)")

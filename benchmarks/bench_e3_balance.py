@@ -1,0 +1,27 @@
+"""E3 — Lemma 5/1: separator balance is a hard 2/3 guarantee.
+
+Regenerates the per-family worst-case component-fraction table.  Shape:
+`worst_fraction <= 2/3` on every row — not on average, on every instance.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.config import PlanarConfiguration
+from repro.core.separator import cycle_separator
+from repro.planar import generators as gen
+
+
+def test_e3_balance(benchmark):
+    rows = experiments.e3_balance(seeds=range(6))
+    emit("e3_balance.txt", rows, "E3 - separator balance per family (hard 2/3 bound)")
+    for row in rows:
+        assert row["holds"], row
+
+    g = gen.triangulated_grid(8, 8)
+    cfg = PlanarConfiguration.build(g, root=0)
+    benchmark(lambda: cycle_separator(cfg))
+
+
+if __name__ == "__main__":
+    emit("e3_balance.txt", experiments.e3_balance(seeds=range(6)),
+         "E3 - separator balance per family (hard 2/3 bound)")

@@ -1,0 +1,26 @@
+"""E4 — §5.3 phase analysis: which phase emits the separator.
+
+Regenerates the phase histogram across the full workload suite (plus the
+Phase-2 centroid-fallback tally from DESIGN.md's erratum).  Shape: Phases
+2 and 3 dominate; Phases 4/5 fire on the adversarial tree/embedding
+combinations; every run is accounted for.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+
+
+def test_e4_phases(benchmark):
+    rows = benchmark(lambda: experiments.e4_phases(seeds=range(8)))
+    emit("e4_phases.txt", rows, "E4 - separator phase histogram")
+    phases = {r["phase"]: r for r in rows}
+    assert "phase2" in phases and "phase3" in phases
+    total = sum(r["count"] for r in rows if not r["phase"].startswith("rule:"))
+    assert total > 0
+    covered = sum(r["fraction"] for r in rows if not r["phase"].startswith("rule:"))
+    assert abs(covered - 1.0) < 1e-9
+
+
+if __name__ == "__main__":
+    emit("e4_phases.txt", experiments.e4_phases(seeds=range(8)),
+         "E4 - separator phase histogram")

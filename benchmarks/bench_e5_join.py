@@ -1,0 +1,25 @@
+"""E5 — Lemma 2: JOIN's halving terminates in O(log n) iterations.
+
+Regenerates the join-iteration table from end-to-end DFS runs.  Shape: the
+maximum number of halving iterations in any phase stays at or below
+ceil(log2 n) + O(1) while n quadruples.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.dfs import dfs_tree
+from repro.planar import generators as gen
+
+
+def test_e5_join(benchmark):
+    rows = experiments.e5_join()
+    emit("e5_join.txt", rows, "E5 - JOIN halving iterations (Lemma 2)")
+    for row in rows:
+        assert row["max_join_iterations"] <= row["log2n"] + 2, row
+
+    g = gen.delaunay(225, seed=0)
+    benchmark(lambda: dfs_tree(g, 0))
+
+
+if __name__ == "__main__":
+    emit("e5_join.txt", experiments.e5_join(), "E5 - JOIN halving iterations (Lemma 2)")

@@ -1,0 +1,27 @@
+"""E6 — Prop. 2 / GH'16: tree-restricted shortcut quality on planar parts.
+
+Regenerates the measured (congestion, dilation) table for partitioned
+planar instances.  Shape: c + d stays within a small multiple of the
+D·log D planar bound that the charged cost model is built on.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.planar import generators as gen
+from repro.shortcuts import build_shortcuts
+
+
+def test_e6_shortcuts(benchmark):
+    rows = experiments.e6_shortcuts()
+    emit("e6_shortcuts.txt", rows, "E6 - measured shortcut quality vs D log D")
+    for row in rows:
+        assert row["ratio"] <= 8, row
+
+    g = gen.grid(12, 12)
+    parts = [list(range(i, i + 36)) for i in range(0, 144, 36)]
+    benchmark(lambda: build_shortcuts(g, parts))
+
+
+if __name__ == "__main__":
+    emit("e6_shortcuts.txt", experiments.e6_shortcuts(),
+         "E6 - measured shortcut quality vs D log D")

@@ -1,0 +1,36 @@
+"""E7 — Lemmas 3/4 + Remark 1 + Lemma 8: the deterministic formulas are exact.
+
+Regenerates the mismatch-count table over every real fundamental face of
+the workload suite.  Shape: zero mismatches in every row — the paper's
+weight formula is exact, not an approximation (this is its whole point
+versus the randomized estimates of Ghaffari–Parter).
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.config import PlanarConfiguration
+from repro.core.faces import face_view
+from repro.core.weights import weight
+from repro.planar import generators as gen
+
+
+def test_e7_exactness(benchmark):
+    rows = experiments.e7_exactness(seeds=range(4))
+    emit("e7_exactness.txt", rows, "E7 - exactness of the deterministic formulas")
+    for row in rows:
+        assert row["mismatches"] == 0, row
+        assert row["faces"] > 1000
+
+    g = gen.delaunay(200, seed=1)
+    cfg = PlanarConfiguration.build(g, root=0)
+    edges = cfg.real_fundamental_edges()
+
+    def all_weights():
+        return [weight(cfg, face_view(cfg, e)) for e in edges]
+
+    benchmark(all_weights)
+
+
+if __name__ == "__main__":
+    emit("e7_exactness.txt", experiments.e7_exactness(seeds=range(4)),
+         "E7 - exactness of the deterministic formulas")

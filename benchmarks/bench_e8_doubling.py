@@ -1,0 +1,29 @@
+"""E8 — Lemmas 11/13: fragment merging beats tree depth.
+
+Regenerates the phase-count table of the DFS-ORDER and MARK-PATH fragment
+dynamics on Θ(n)-deep trees.  Shape: phases ~ log2 n even when the tree
+depth is n - 1 (paths) — the whole reason the paper needs these
+subroutines instead of walking the tree.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.core.config import PlanarConfiguration
+from repro.core.subroutines import dfs_order_phases
+from repro.planar import generators as gen
+
+
+def test_e8_doubling(benchmark):
+    rows = experiments.e8_doubling()
+    emit("e8_doubling.txt", rows, "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
+    for row in rows:
+        assert row["order_phases"] <= row["log2n"] + 1, row
+        assert row["markpath_phases"] <= row["log2n"] + 1, row
+
+    cfg = PlanarConfiguration.build(gen.path_graph(2048), root=0)
+    benchmark(lambda: dfs_order_phases(cfg))
+
+
+if __name__ == "__main__":
+    emit("e8_doubling.txt", experiments.e8_doubling(),
+         "E8 - fragment-merge phases vs log n (Lemmas 11/13)")

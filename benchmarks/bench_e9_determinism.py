@@ -1,0 +1,33 @@
+"""E9 — deterministic vs sampled weights (the Ghaffari–Parter gap).
+
+Regenerates the failure-rate table of the sampled-weight separator across
+sample budgets, against the deterministic algorithm's zero failure rate.
+Shape: the failure rate decays as the budget grows and never reaches the
+deterministic row's 0 at small budgets — the statistical price the paper's
+Definition 2 eliminates.
+"""
+
+from _common import emit
+from repro.analysis import experiments
+from repro.baselines import randomized_separator
+from repro.planar import generators as gen
+
+BUDGETS = (2, 5, 10, 25, 75, 200)
+
+
+def test_e9_determinism(benchmark):
+    rows = experiments.e9_determinism(budgets=BUDGETS, attempts=40)
+    emit("e9_determinism.txt", rows, "E9 - sampled-weight failure rate vs budget")
+    det = [r for r in rows if r["algorithm"].startswith("deterministic")]
+    assert det and det[0]["failure_rate"] == 0.0
+    sampled = [r for r in rows if not r["algorithm"].startswith("deterministic")]
+    assert sampled[0]["failure_rate"] >= sampled[-1]["failure_rate"]
+    assert sampled[0]["failure_rate"] > 0.0
+
+    g = gen.delaunay(90, seed=2)
+    benchmark(lambda: randomized_separator(g, samples=25, seed=0))
+
+
+if __name__ == "__main__":
+    emit("e9_determinism.txt", experiments.e9_determinism(budgets=BUDGETS, attempts=40),
+         "E9 - sampled-weight failure rate vs budget")

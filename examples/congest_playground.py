@@ -1,0 +1,69 @@
+"""Writing your own CONGEST node program on the simulator.
+
+The substrate beneath the reproduction is reusable: this example implements
+a small distributed protocol from scratch — *leader election + eccentricity
+estimate* — directly against :class:`repro.congest.Network`, showing the
+node-program API (init / on_round / halt), the bandwidth accounting, and
+the measured round counts.
+
+Protocol: every node floods the smallest identifier it has seen; when a
+node's value has been stable for `D` estimate purposes, it adopts the
+leader.  A second pass BFS's from the elected leader to measure its
+eccentricity — a 2-approximation of the diameter, which is what the cost
+model consumes.
+
+Run:  python examples/congest_playground.py
+"""
+
+import networkx as nx
+
+from repro.congest import Network, bfs_run
+from repro.planar import generators
+
+
+def elect_leader(graph):
+    """Flood-the-minimum leader election; returns (leader, rounds)."""
+
+    def init(ctx):
+        ctx.state["best"] = ctx.node
+        ctx.state["dirty"] = True
+
+    def on_round(ctx, inbox):
+        for payload in inbox.values():
+            if payload[0] < ctx.state["best"]:
+                ctx.state["best"] = payload[0]
+                ctx.state["dirty"] = True
+        if ctx.state["dirty"]:
+            ctx.state["dirty"] = False
+            return {u: (ctx.state["best"],) for u in ctx.neighbors}
+        return None
+
+    result = Network(graph).run(
+        init,
+        on_round,
+        max_rounds=4 * len(graph),
+        finalize=lambda ctx: ctx.state["best"],
+        stop_when_quiet=True,
+    )
+    leaders = set(result.outputs.values())
+    assert len(leaders) == 1, "all nodes must agree"
+    return leaders.pop(), result.rounds
+
+
+def main():
+    field = generators.delaunay(200, seed=17)
+    print(f"network: {len(field)} nodes, {field.number_of_edges()} edges")
+
+    leader, rounds = elect_leader(field)
+    print(f"leader elected: node {leader} in {rounds} measured rounds")
+
+    bfs = bfs_run(field, leader)
+    ecc = max(out[0] for out in bfs.outputs.values())
+    print(f"BFS from the leader: {bfs.rounds} rounds, eccentricity {ecc}")
+    print(f"diameter estimate: between {ecc} and {2 * ecc} "
+          f"(true: {nx.diameter(field)})")
+    print(f"max message size observed: {bfs.max_words} word(s) — CONGEST respected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Network resilience audit: cut vertices and bridges from the DFS tree.
+
+A utility network (planar by construction — cables don't cross) wants its
+single points of failure.  The pipeline is the classic DFS application made
+distributed by Theorem 2: build the deterministic DFS tree, aggregate low
+points over subtrees (one DESCENDANT-SUM, Proposition 5), and read off
+articulation points and bridges locally.
+
+The audit then uses the separator hierarchy to propose *where* to add
+redundancy: pieces of the network whose boundary is a single articulation
+point are the fragile districts.
+
+Run:  python examples/network_resilience.py
+"""
+
+import networkx as nx
+
+from repro.applications import biconnectivity, build_hierarchy
+from repro.planar import generators
+
+
+def main():
+    # A sparse utility network: spanning structure plus some redundancy.
+    network = generators.random_planar(220, density=0.42, seed=31)
+    print(f"utility network: {len(network)} stations, "
+          f"{network.number_of_edges()} cables")
+
+    audit = biconnectivity(network)
+    print(f"\nsingle points of failure:")
+    print(f"  cut stations (articulation points): {len(audit.articulation_points)}")
+    print(f"  critical cables (bridges):          {len(audit.bridges)}")
+
+    # Sanity: agree with the centralized textbook computation.
+    assert audit.articulation_points == set(nx.articulation_points(network))
+    assert audit.bridges == {tuple(sorted(e, key=repr)) for e in nx.bridges(network)}
+    print("  (verified against the centralized reference)")
+
+    hierarchy = build_hierarchy(network, leaf_size=20)
+    fragile = []
+    for piece in hierarchy.pieces():
+        cuts = piece.boundary & audit.articulation_points
+        if len(piece.boundary) <= 2 and cuts:
+            fragile.append((len(piece.interior), sorted(cuts, key=repr)))
+    fragile.sort(reverse=True)
+
+    print(f"\nhierarchy: depth {hierarchy.depth}, {len(hierarchy.pieces())} pieces")
+    print("fragile districts (served through at most two boundary stations,")
+    print("at least one of which is a cut vertex):")
+    for size, cuts in fragile[:8]:
+        print(f"  district of {size:3d} stations behind cut station(s) {cuts}")
+    if not fragile:
+        print("  none - the network is well meshed")
+    print("\nadding one cable across any listed cut station removes that"
+          " district's single point of failure")
+
+
+if __name__ == "__main__":
+    main()

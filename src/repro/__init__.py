@@ -1,0 +1,55 @@
+"""repro — Deterministic distributed DFS via cycle separators in planar graphs.
+
+A full reproduction of Jauregui, Montealegre & Rapaport (PODC 2025):
+
+* :func:`repro.cycle_separator` / :func:`repro.compute_cycle_separators` —
+  Theorem 1, deterministic cycle separators of planar graphs (per part of a
+  partition).
+* :func:`repro.dfs_tree` — Theorem 2, a deterministic DFS tree in
+  :math:`\\tilde{O}(D)` charged CONGEST rounds.
+* :mod:`repro.congest` — the CONGEST substrate: a message-level simulator
+  (with Awerbuch's O(n) DFS baseline) and the charged round ledger.
+* :mod:`repro.planar`, :mod:`repro.trees`, :mod:`repro.shortcuts` — the
+  planar-embedding, spanning-tree and low-congestion-shortcut substrates.
+* :mod:`repro.baselines` — comparison algorithms for the experiments.
+
+Quickstart::
+
+    import networkx as nx
+    from repro import dfs_tree, check_dfs_tree
+
+    graph = nx.grid_2d_graph(12, 12)
+    graph = nx.convert_node_labels_to_integers(graph)
+    result = dfs_tree(graph, root=0)
+    check_dfs_tree(graph, result.parent, 0)   # ancestor property holds
+"""
+
+from .congest import CostModel, RoundLedger
+from .core import (
+    DFSResult,
+    PlanarConfiguration,
+    SeparatorResult,
+    check_dfs_tree,
+    check_separator,
+    compute_cycle_separators,
+    cycle_separator,
+    dfs_tree,
+    separator_report,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DFSResult",
+    "PlanarConfiguration",
+    "RoundLedger",
+    "SeparatorResult",
+    "__version__",
+    "check_dfs_tree",
+    "check_separator",
+    "compute_cycle_separators",
+    "cycle_separator",
+    "dfs_tree",
+    "separator_report",
+]

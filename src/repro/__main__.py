@@ -1,0 +1,10 @@
+"""``python -m repro`` — see :mod:`repro.cli`."""
+
+import sys
+
+from .cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:  # e.g. `python -m repro experiment all | head`
+    sys.exit(0)

@@ -1,0 +1,6 @@
+"""Experiment harness: workloads, runners E1-E10, table rendering."""
+
+from . import experiments, report, workloads
+from .tables import format_value, render_table
+
+__all__ = ["experiments", "format_value", "render_table", "report", "workloads"]

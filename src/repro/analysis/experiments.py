@@ -1,0 +1,489 @@
+"""Experiment runners E1–E10 (DESIGN.md §4).
+
+Each function regenerates one table/figure of the reproduction: it runs the
+relevant algorithms on the declared workloads and returns printable rows.
+The benchmark harness (``benchmarks/bench_e*.py``) wraps these with
+pytest-benchmark timing and asserts the *shape* claims; ``EXPERIMENTS.md``
+records a snapshot of the output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import networkx as nx
+
+from ..baselines import randomized_separator
+from ..congest import CostModel, RoundLedger, awerbuch_dfs_run
+from ..core.config import PlanarConfiguration
+from ..core.dfs import dfs_tree
+from ..core.faces import face_view
+from ..core.separator import cycle_separator
+from ..core.subroutines import dfs_order_phases, mark_path_phases
+from ..core.verify import check_dfs_tree, separator_report
+from ..core.weights import interior_by_orders, side_sets, weight
+from ..planar import generators as gen
+from ..shortcuts import build_shortcuts
+from ..trees import bfs_tree, dfs_spanning_tree
+from . import workloads
+
+__all__ = [
+    "e1_separator_rounds",
+    "e2_dfs_rounds",
+    "e3_balance",
+    "e4_phases",
+    "e5_join",
+    "e6_shortcuts",
+    "e7_exactness",
+    "e8_doubling",
+    "e9_determinism",
+    "e10_recursion",
+    "e11_ablation",
+    "e12_hierarchy",
+    "e13_charge_honesty",
+    "e14_separator_sizes",
+]
+
+
+def _ledger_for(graph: nx.Graph) -> RoundLedger:
+    diameter = nx.diameter(graph)
+    shortcut = build_shortcuts(graph, [sorted(graph.nodes)])
+    return RoundLedger(CostModel(len(graph), diameter, shortcut.quality))
+
+
+def e1_separator_rounds(sizes=(100, 225, 400, 900, 1600), seed: int = 0) -> List[Dict]:
+    """E1 — Theorem 1: separator rounds scale like D polylog(n)."""
+    rows: List[Dict] = []
+    for family in ("grid", "delaunay", "tri-grid"):
+        for n, g in workloads.scaling_series(family, list(sizes), seed=seed):
+            diameter = nx.diameter(g)
+            ledger = _ledger_for(g)
+            cfg = PlanarConfiguration.build(g, root=min(g.nodes))
+            res = cycle_separator(cfg, ledger=ledger)
+            rows.append(
+                {
+                    "family": family,
+                    "n": len(g),
+                    "D": diameter,
+                    "phase": res.phase,
+                    "sep_size": len(res.path),
+                    "rounds": ledger.total_rounds,
+                    "rounds/(D*log2n^2)": ledger.normalized(),
+                }
+            )
+    return rows
+
+
+def e2_dfs_rounds(sizes=(64, 144, 256, 484), seed: int = 0) -> List[Dict]:
+    """E2 — Theorem 2 vs Awerbuch '85: Õ(D) vs Θ(n) DFS rounds."""
+    rows: List[Dict] = []
+    for family in ("grid", "apollonian"):
+        seen = set()
+        for n, g in workloads.scaling_series(family, list(sizes), seed=seed):
+            if len(g) in seen:
+                continue
+            seen.add(len(g))
+            root = min(g.nodes)
+            diameter = nx.diameter(g)
+            ledger = _ledger_for(g)
+            res = dfs_tree(g, root, ledger=ledger)
+            check_dfs_tree(g, res.parent, root)
+            awerbuch = awerbuch_dfs_run(g, root)
+            rows.append(
+                {
+                    "family": family,
+                    "n": len(g),
+                    "D": diameter,
+                    "det_rounds": ledger.total_rounds,
+                    "awerbuch_rounds": awerbuch.rounds,
+                    "det/(D*log2n^2)": ledger.normalized(),
+                    "awerbuch/n": awerbuch.rounds / len(g),
+                }
+            )
+    return rows
+
+
+def e3_balance(seeds=range(6)) -> List[Dict]:
+    """E3 — Lemma 5/1: every emitted separator leaves components <= 2n/3."""
+    rows: List[Dict] = []
+    for name, g0 in workloads.separator_suite(0):
+        worst = 0.0
+        sizes = []
+        for seed in seeds:
+            g = g0
+            root = seed % len(g)
+            for maker in (bfs_tree, dfs_spanning_tree):
+                cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
+                res = cycle_separator(cfg)
+                report = separator_report(g, res.path)
+                worst = max(worst, report.max_fraction)
+                sizes.append(report.separator_size)
+        rows.append(
+            {
+                "family": name,
+                "n": len(g0),
+                "runs": 2 * len(list(seeds)),
+                "worst_fraction": worst,
+                "bound": 2 / 3,
+                "holds": worst <= 2 / 3 + 1e-9,
+                "mean_sep_size": sum(sizes) / len(sizes),
+            }
+        )
+    return rows
+
+
+def e4_phases(seeds=range(8)) -> List[Dict]:
+    """E4 — §5.3: which phase of the machine emits the separator."""
+    tally: Dict[str, int] = {}
+    rules: Dict[str, int] = {}
+    runs = 0
+    for name, g in workloads.separator_suite(0):
+        for seed in seeds:
+            root = seed % len(g)
+            for maker in (bfs_tree, dfs_spanning_tree):
+                cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
+                res = cycle_separator(cfg)
+                tally[res.phase] = tally.get(res.phase, 0) + 1
+                if res.rule:
+                    rules[res.rule] = rules.get(res.rule, 0) + 1
+                runs += 1
+    rows = [
+        {"phase": phase, "count": count, "fraction": count / runs}
+        for phase, count in sorted(tally.items())
+    ]
+    for rule, count in sorted(rules.items()):
+        rows.append({"phase": f"rule:{rule}", "count": count, "fraction": count / runs})
+    return rows
+
+
+def e5_join(seed: int = 0) -> List[Dict]:
+    """E5 — Lemma 2: JOIN halving iterations stay logarithmic."""
+    rows: List[Dict] = []
+    for family in ("grid", "delaunay", "tri-grid"):
+        for n, g in workloads.scaling_series(family, [100, 225, 400, 900], seed=seed):
+            res = dfs_tree(g, min(g.nodes))
+            rows.append(
+                {
+                    "family": family,
+                    "n": len(g),
+                    "log2n": math.ceil(math.log2(len(g))),
+                    "dfs_phases": res.phases,
+                    "max_join_iterations": max(res.join_iterations or [0]),
+                }
+            )
+    return rows
+
+
+def e6_shortcuts(seed: int = 0) -> List[Dict]:
+    """E6 — Prop. 2 / GH'16: measured shortcut quality vs the D log D bound."""
+    rows: List[Dict] = []
+    for name, g, parts in workloads.partitioned_instances(seed):
+        diameter = nx.diameter(g)
+        sc = build_shortcuts(g, parts)
+        bound = diameter * max(1, math.ceil(math.log2(diameter + 1)))
+        rows.append(
+            {
+                "instance": name,
+                "n": len(g),
+                "D": diameter,
+                "parts": len(parts),
+                "congestion": sc.congestion,
+                "dilation": sc.dilation,
+                "c+d": sc.congestion + sc.dilation,
+                "DlogD": bound,
+                "ratio": (sc.congestion + sc.dilation) / bound,
+            }
+        )
+    return rows
+
+
+def e7_exactness(seeds=range(4)) -> List[Dict]:
+    """E7 — Lemmas 3/4 + Remark 1 + Lemma 8 sides: zero mismatches."""
+    faces = weight_bad = member_bad = side_bad = 0
+    for name, g in workloads.separator_suite(0):
+        if g.number_of_edges() < len(g):
+            continue
+        for seed in seeds:
+            root = seed % len(g)
+            tree = bfs_tree(g, root) if seed % 2 == 0 else dfs_spanning_tree(g, root)
+            cfg = PlanarConfiguration.build(g, root=root, tree=tree)
+            for e in cfg.real_fundamental_edges():
+                fv = face_view(cfg, e)
+                interior = fv.interior()
+                faces += 1
+                if cfg.tree.is_ancestor(fv.u, fv.v):
+                    expected = len(interior)
+                else:
+                    expected = len(interior) + (
+                        cfg.tree.depth[fv.v] - cfg.tree.depth[fv.lca] + 1
+                    )
+                if weight(cfg, fv) != expected:
+                    weight_bad += 1
+                if interior_by_orders(cfg, fv) != interior:
+                    member_bad += 1
+                left, right = side_sets(cfg, fv, interior)
+                outside = set(g.nodes) - interior - set(fv.border)
+                if left | right != outside or (left & right):
+                    side_bad += 1
+    return [
+        {"check": "Definition 2 weight == exact count (Lemmas 3/4)", "faces": faces, "mismatches": weight_bad},
+        {"check": "Remark 1 membership == interior", "faces": faces, "mismatches": member_bad},
+        {"check": "Lemma 8 side sets partition the outside", "faces": faces, "mismatches": side_bad},
+    ]
+
+
+def e8_doubling(seed: int = 0) -> List[Dict]:
+    """E8 — Lemmas 11/13: fragment phases stay ~log n on Θ(n)-deep trees.
+
+    The ``merge_msg_rounds`` column is the *measured* message-level cost of
+    the fragment dynamic without shortcuts (floods pay fragment diameters,
+    so it grows like n on paths) — the gap between it and the logarithmic
+    phase count is precisely what Proposition 2's shortcuts buy.
+    """
+    from ..congest.fragments_sim import fragment_merge_run
+
+    rows: List[Dict] = []
+    for n in (64, 256, 1024, 4096):
+        g = gen.path_graph(n)
+        cfg = PlanarConfiguration.build(g, root=0)
+        orders = dfs_order_phases(cfg)
+        mark = mark_path_phases(cfg, 0, n - 1)
+        merge = fragment_merge_run(g, cfg.tree) if n <= 1024 else None
+        rows.append(
+            {
+                "tree": f"path-{n}",
+                "depth": n - 1,
+                "log2n": math.ceil(math.log2(n)),
+                "order_phases": orders.phases,
+                "markpath_phases": mark.phases,
+                "markpath_iterations": mark.iterations,
+                "merge_msg_rounds": merge.rounds if merge else "-",
+            }
+        )
+    for side in (8, 16, 24):
+        g = gen.grid(side, side)
+        tree = dfs_spanning_tree(g, 0)
+        cfg = PlanarConfiguration.build(g, root=0, tree=tree)
+        orders = dfs_order_phases(cfg)
+        deepest = max(tree.depth, key=lambda v: tree.depth[v])
+        mark = mark_path_phases(cfg, 0, deepest)
+        from ..congest.fragments_sim import fragment_merge_run
+
+        merge = fragment_merge_run(g, cfg.tree)
+        rows.append(
+            {
+                "tree": f"grid-dfs-{side}x{side}",
+                "depth": tree.height(),
+                "log2n": math.ceil(math.log2(len(g))),
+                "order_phases": orders.phases,
+                "markpath_phases": mark.phases,
+                "markpath_iterations": mark.iterations,
+                "merge_msg_rounds": merge.rounds,
+            }
+        )
+    return rows
+
+
+def e9_determinism(budgets=(2, 5, 10, 25, 75, 200), attempts: int = 40) -> List[Dict]:
+    """E9 — deterministic weights vs sampled weights (GP'17-style)."""
+    g = gen.delaunay(90, seed=2)
+    n = len(g)
+    rows: List[Dict] = []
+    for samples in budgets:
+        misses = unbalanced = 0
+        for seed in range(attempts):
+            out = randomized_separator(g, samples=samples, seed=seed)
+            if out.separator is None:
+                misses += 1
+            elif not separator_report(g, out.separator).balanced:
+                unbalanced += 1
+        rows.append(
+            {
+                "algorithm": f"sampled({samples})",
+                "attempts": attempts,
+                "no_candidate": misses,
+                "unbalanced": unbalanced,
+                "failure_rate": (misses + unbalanced) / attempts,
+            }
+        )
+    cfg = PlanarConfiguration.build(g, root=0)
+    res = cycle_separator(cfg)
+    ok = separator_report(g, res.path).balanced
+    rows.append(
+        {
+            "algorithm": "deterministic (this paper)",
+            "attempts": 1,
+            "no_candidate": 0,
+            "unbalanced": 0 if ok else 1,
+            "failure_rate": 0.0 if ok else 1.0,
+        }
+    )
+    return rows
+
+
+def e10_recursion(seed: int = 0) -> List[Dict]:
+    """E10 — Theorem 2: O(log n) phases; components shrink by >= 1/3."""
+    rows: List[Dict] = []
+    for family in ("grid", "delaunay", "cylinder"):
+        for n, g in workloads.scaling_series(family, [100, 225, 400, 900], seed=seed):
+            res = dfs_tree(g, min(g.nodes))
+            shrink = max(res.shrink_factors[:-1]) if len(res.shrink_factors) > 1 else 0.0
+            rows.append(
+                {
+                    "family": family,
+                    "n": len(g),
+                    "log2n": math.ceil(math.log2(len(g))),
+                    "phases": res.phases,
+                    "max_shrink_factor": shrink,
+                    "bound": 2 / 3,
+                }
+            )
+    return rows
+
+
+def e11_ablation(seeds=range(6)) -> List[Dict]:
+    """E11 — ablation: the reproduction's proof-gap repairs are load-bearing.
+
+    Re-runs the separator suite with each repair disabled and counts how
+    often the *paper-as-stated* output violates the 2/3 balance.  Failures
+    under ``no-phase3b`` / ``no-emit-check`` are exactly the degenerate
+    spanning-tree cases documented in DESIGN.md §3.
+    """
+    variants = [
+        ("full (as shipped)", frozenset()),
+        ("no-phase3b", frozenset({"no-phase3b"})),
+        ("no-emit-check", frozenset({"no-emit-check"})),
+        ("paper-as-stated", frozenset({"no-phase3b", "no-emit-check"})),
+    ]
+    rows: List[Dict] = []
+    for label, ablation in variants:
+        runs = unbalanced = errors = 0
+        for name, g in workloads.separator_suite(0):
+            for seed in seeds:
+                root = seed % len(g)
+                for maker in (bfs_tree, dfs_spanning_tree):
+                    cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
+                    runs += 1
+                    try:
+                        res = cycle_separator(cfg, ablation=ablation)
+                    except Exception:
+                        errors += 1
+                        continue
+                    if not separator_report(g, res.path).balanced:
+                        unbalanced += 1
+        rows.append(
+            {
+                "variant": label,
+                "runs": runs,
+                "unbalanced": unbalanced,
+                "errors": errors,
+                "failure_rate": (unbalanced + errors) / runs,
+            }
+        )
+    return rows
+
+
+def e12_hierarchy(seed: int = 0) -> List[Dict]:
+    """E12 — divide and conquer: separator hierarchies have O(log n) depth.
+
+    The introduction's application: recursive decomposition with 2/3
+    balance gives log_{3/2}(n)-depth hierarchies and a nested-dissection
+    elimination order covering every node once.
+    """
+    from ..applications import build_hierarchy
+
+    rows: List[Dict] = []
+    for family in ("grid", "delaunay", "tri-grid"):
+        for n, g in workloads.scaling_series(family, [100, 225, 400, 900], seed=seed):
+            hierarchy = build_hierarchy(g)
+            order = hierarchy.elimination_order()
+            assert sorted(order) == sorted(g.nodes)
+            rows.append(
+                {
+                    "family": family,
+                    "n": len(g),
+                    "log_1.5(n)": math.log(len(g), 1.5),
+                    "depth": hierarchy.depth,
+                    "top_separator": len(hierarchy.root_region.separator),
+                }
+            )
+    return rows
+
+
+def e13_charge_honesty(seed: int = 0) -> List[Dict]:
+    """E13 — cross-layer validation: the ledger's part-wise aggregation
+    charge (c + d) upper-bounds the measured message-level rounds.
+
+    The same aggregation is run twice: once on the CONGEST simulator
+    (pipelined upcast over the tree-restricted shortcuts, real messages,
+    real bandwidth limits) and once as a ledger charge.  The measured
+    column must never exceed the charged one — otherwise every round count
+    in E1/E2 would be suspect.
+    """
+    from ..congest.partwise_sim import partwise_aggregation_run
+
+    rows: List[Dict] = []
+    cases = [
+        ("grid-4p", gen.grid(8, 8), 4),
+        ("grid-10p", gen.grid(10, 10), 10),
+        ("grid-25p", gen.grid(10, 10), 25),
+        ("delaunay-6p", gen.delaunay(100, seed=seed), 6),
+        ("delaunay-15p", gen.delaunay(150, seed=seed), 15),
+        ("cylinder-8p", gen.cylinder(4, 20), 8),
+    ]
+    for name, g, k in cases:
+        nodes = sorted(g.nodes)
+        size = (len(nodes) + k - 1) // k
+        parts = [nodes[i : i + size] for i in range(0, len(nodes), size)]
+        values = {v: v % 11 for v in g.nodes}
+        run = partwise_aggregation_run(g, parts, values)
+        rows.append(
+            {
+                "instance": name,
+                "n": len(g),
+                "parts": len(parts),
+                "measured_rounds": run.rounds,
+                "charged_c+d": run.charge,
+                "measured/charged": run.rounds / run.charge,
+            }
+        )
+    return rows
+
+
+def e14_separator_sizes(seed: int = 0) -> List[Dict]:
+    """E14 — separator sizes: cycle separators vs Lipton-Tarjan's bound.
+
+    Cycle separators trade the O(sqrt n) size guarantee for path structure;
+    this table puts our sizes next to the centralized fundamental-cycle
+    baseline and its 2*radius + 1 bound on triangulation-like inputs.
+    """
+    from ..baselines import lipton_tarjan_separator
+
+    rows: List[Dict] = []
+    cases = [
+        ("delaunay", gen.delaunay(400, seed=seed)),
+        ("tri-grid", gen.triangulated_grid(15, 15)),
+        ("grid", gen.grid(15, 15)),
+        ("apollonian", gen.apollonian(7, seed=seed)),
+        ("random-planar-0.5", gen.random_planar(300, density=0.5, seed=seed)),
+        ("outerplanar", gen.outerplanar(200, chords=60, seed=seed)),
+    ]
+    for name, g in cases:
+        root = min(g.nodes)
+        cfg = PlanarConfiguration.build(g, root=root)
+        ours = cycle_separator(cfg)
+        lt = lipton_tarjan_separator(g, root=root)
+        radius = nx.eccentricity(g, root)
+        rows.append(
+            {
+                "family": name,
+                "n": len(g),
+                "sqrt_n": round(len(g) ** 0.5, 1),
+                "2r+1": 2 * radius + 1,
+                "ours": len(ours.path),
+                "ours_phase": ours.phase,
+                "lipton_tarjan": len(lt),
+            }
+        )
+    return rows

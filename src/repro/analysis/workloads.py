@@ -1,0 +1,98 @@
+"""Workload suites for the experiment harness (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import networkx as nx
+
+from ..planar import generators as gen
+
+__all__ = [
+    "separator_suite",
+    "dfs_suite",
+    "scaling_series",
+    "partitioned_instances",
+]
+
+GraphMaker = Callable[[], nx.Graph]
+
+
+def separator_suite(seed: int = 0) -> List[Tuple[str, nx.Graph]]:
+    """Mixed families at comparable sizes, for balance/phase experiments."""
+    return [
+        ("grid", gen.grid(9, 10)),
+        ("tri-grid", gen.triangulated_grid(8, 9)),
+        ("cylinder", gen.cylinder(5, 16)),
+        ("delaunay", gen.delaunay(90, seed=seed)),
+        ("random-planar-0.3", gen.random_planar(80, density=0.3, seed=seed)),
+        ("random-planar-0.7", gen.random_planar(80, density=0.7, seed=seed)),
+        ("outerplanar", gen.outerplanar(70, chords=20, seed=seed)),
+        ("apollonian", gen.apollonian(6, seed=seed)),
+        ("wheel", gen.wheel(60)),
+        ("random-tree", gen.random_tree(80, seed=seed)),
+        ("broom", gen.broom(40, 40)),
+        ("nested-triangles", gen.nested_triangles(25)),
+    ]
+
+
+def dfs_suite(seed: int = 0) -> List[Tuple[str, nx.Graph]]:
+    """Families for end-to-end DFS runs (moderate sizes)."""
+    return [
+        ("grid", gen.grid(8, 8)),
+        ("tri-grid", gen.triangulated_grid(7, 8)),
+        ("cylinder", gen.cylinder(4, 14)),
+        ("delaunay", gen.delaunay(70, seed=seed)),
+        ("random-planar", gen.random_planar(60, density=0.5, seed=seed)),
+        ("apollonian", gen.apollonian(5, seed=seed)),
+    ]
+
+
+def scaling_series(family: str, sizes: List[int], seed: int = 0) -> Iterator[Tuple[int, nx.Graph]]:
+    """Same family at growing sizes (for the Õ(D) scaling experiments)."""
+    for n in sizes:
+        if family == "grid":
+            side = max(2, round(n**0.5))
+            yield side * side, gen.grid(side, side)
+        elif family == "delaunay":
+            yield n, gen.delaunay(n, seed=seed)
+        elif family == "cylinder":
+            cols = max(3, n // 4)
+            yield 4 * cols, gen.cylinder(4, cols)
+        elif family == "tri-grid":
+            side = max(2, round(n**0.5))
+            yield side * side, gen.triangulated_grid(side, side)
+        elif family == "path":
+            yield n, gen.path_graph(n)
+        elif family == "apollonian":
+            levels = max(2, (n - 2).bit_length())
+            g = gen.apollonian(levels, seed=seed)
+            yield len(g), g
+        else:
+            raise ValueError(f"unknown scaling family {family!r}")
+
+
+def partitioned_instances(seed: int = 0) -> List[Tuple[str, nx.Graph, List[List[int]]]]:
+    """Graphs with connected partitions, for Theorem 1's multi-part form."""
+    out = []
+    g = gen.grid(8, 8)
+    out.append(("grid-2", g, [list(range(0, 32)), list(range(32, 64))]))
+    out.append(
+        (
+            "grid-4",
+            g,
+            [list(range(i, i + 16)) for i in range(0, 64, 16)],
+        )
+    )
+    d = gen.delaunay(80, seed=seed)
+    # BFS-layer partition: contiguous layers induce connected parts on
+    # triangulations after merging with their shallower neighbors.
+    import networkx as nx
+
+    dist = nx.single_source_shortest_path_length(d, 0)
+    maxd = max(dist.values())
+    half = [v for v in d.nodes if dist[v] <= maxd // 2]
+    rest = [v for v in d.nodes if dist[v] > maxd // 2]
+    parts = [half] + [sorted(c) for c in nx.connected_components(d.subgraph(rest))]
+    out.append(("delaunay-layers", d, parts))
+    return out

@@ -1,0 +1,24 @@
+"""Downstream applications built on Theorems 1 and 2.
+
+The paper's conclusion motivates cycle separators as the entry point to a
+family of deterministic planar CONGEST algorithms; this package holds the
+two canonical ones this library ships:
+
+* :mod:`repro.applications.hierarchy` — recursive separator decomposition
+  (nested dissection), the divide-and-conquer backbone;
+* :mod:`repro.applications.biconnectivity` — articulation points and
+  bridges from the deterministic DFS tree via descendant aggregation.
+"""
+
+from .biconnectivity import BiconnectivityResult, biconnectivity, low_points
+from .hierarchy import Piece, Region, SeparatorHierarchy, build_hierarchy
+
+__all__ = [
+    "BiconnectivityResult",
+    "Piece",
+    "Region",
+    "SeparatorHierarchy",
+    "biconnectivity",
+    "build_hierarchy",
+    "low_points",
+]

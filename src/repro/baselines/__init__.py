@@ -1,0 +1,15 @@
+"""Baselines: Awerbuch's O(n) DFS, Lipton-Tarjan, randomized separators."""
+
+from ..congest.awerbuch import awerbuch_dfs, awerbuch_dfs_run
+from .centralized import centralized_dfs
+from .lipton_tarjan import lipton_tarjan_separator
+from .randomized import RandomizedOutcome, randomized_separator
+
+__all__ = [
+    "RandomizedOutcome",
+    "awerbuch_dfs",
+    "awerbuch_dfs_run",
+    "centralized_dfs",
+    "lipton_tarjan_separator",
+    "randomized_separator",
+]

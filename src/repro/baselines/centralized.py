@@ -1,0 +1,35 @@
+"""Centralized reference algorithms (sanity anchors for the experiments)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import networkx as nx
+
+Node = Hashable
+
+__all__ = ["centralized_dfs"]
+
+
+def centralized_dfs(graph: nx.Graph, root: Node) -> Dict[Node, Optional[Node]]:
+    """Plain sequential DFS; returns the parent map (root -> ``None``).
+
+    Iterative, with the neighbor order fixed by ``repr`` so results are
+    deterministic across runs.
+    """
+    parent: Dict[Node, Optional[Node]] = {root: None}
+    stack = [root]
+    while stack:
+        v = stack[-1]
+        advanced = False
+        for u in sorted(graph.neighbors(v), key=repr):
+            if u not in parent:
+                parent[u] = v
+                stack.append(u)
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    if len(parent) != len(graph):
+        raise ValueError("graph is not connected")
+    return parent

@@ -1,0 +1,70 @@
+"""Centralized Lipton–Tarjan fundamental-cycle separator (SIAM JAM 1979).
+
+The classical centralized comparator for Theorem 1: triangulate the planar
+graph, take a BFS tree, and use the guarantee that some fundamental cycle
+of a triangulated planar graph balances the graph (both sides at most
+:math:`2n/3`).  The cycle is found by scanning all non-tree edges with the
+exact interior counts of :mod:`repro.core` — this is the "what a
+sequential algorithm gets for free" reference point for the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+import networkx as nx
+
+from ..planar.checks import require_planar_connected
+from ..planar.construct import embed
+from ..planar.rotation import RotationSystem
+from ..trees.spanning import bfs_tree
+from ..core.config import PlanarConfiguration
+from ..core.faces import face_view
+
+Node = Hashable
+
+__all__ = ["lipton_tarjan_separator"]
+
+
+def _triangulate(graph: nx.Graph) -> Tuple[nx.Graph, RotationSystem]:
+    """Triangulate via networkx's embedding triangulation."""
+    from networkx.algorithms.planar_drawing import triangulate_embedding
+
+    rotation = embed(graph)
+    tri_embedding, _ = triangulate_embedding(rotation.to_networkx_embedding(), True)
+    tri_rotation = RotationSystem.from_networkx_embedding(tri_embedding)
+    return tri_rotation.to_graph(), tri_rotation
+
+
+def lipton_tarjan_separator(graph: nx.Graph, root: Node | None = None) -> List[Node]:
+    """A balanced fundamental-cycle separator of a planar graph.
+
+    Returns the separator nodes (a BFS-tree path of the triangulation whose
+    closing edge is a triangulation edge).  Raises if no fundamental cycle
+    balances — which the Lipton–Tarjan analysis rules out for triangulated
+    inputs with at least one non-tree edge.
+    """
+    require_planar_connected(graph)
+    n = len(graph)
+    if n <= 2:
+        return list(graph.nodes)
+    if root is None:
+        root = min(graph.nodes, key=repr)
+    tri_graph, tri_rotation = _triangulate(graph)
+    tree = bfs_tree(tri_graph, root)
+    cfg = PlanarConfiguration(tri_graph, tri_rotation, tree)
+    best: Tuple[int, List[Node]] | None = None
+    for e in cfg.real_fundamental_edges():
+        fv = face_view(cfg, e)
+        inside = len(fv.interior())
+        border = len(fv.border)
+        outside = n - inside - border
+        if 3 * inside <= 2 * n and 3 * outside <= 2 * n:
+            if best is None or border < best[0]:
+                best = (border, fv.border)
+    if best is None:
+        raise RuntimeError(
+            "no balanced fundamental cycle found; violates Lipton-Tarjan "
+            "for triangulated planar graphs"
+        )
+    return best[1]

@@ -1,0 +1,89 @@
+"""Randomized sampled-weight separator — the Ghaffari–Parter '17 stand-in.
+
+The randomized predecessor of the paper estimates face weights by sampling
+(their algorithm simulates dual nodes and gets a w.h.p. approximation).
+This baseline reproduces that *statistical structure* on our substrate:
+interior sizes are estimated from a uniform node sample, and the face whose
+**estimate** lands in the separator window is selected.  With few samples
+the estimate misses and the output can be unbalanced — the failure-rate
+curve versus sample budget (experiment E9) is exactly the gap that the
+paper's deterministic weight formula closes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..core.config import PlanarConfiguration
+from ..core.faces import face_view
+from ..trees.spanning import bfs_tree
+from ..planar.checks import require_planar_connected
+
+Node = Hashable
+
+__all__ = ["randomized_separator", "RandomizedOutcome"]
+
+
+class RandomizedOutcome:
+    """Result of one randomized separator attempt.
+
+    Attributes
+    ----------
+    separator:
+        The selected border path (``None`` if no face's estimate landed in
+        the window).
+    estimated_weight:
+        The sampled estimate that drove the selection.
+    true_weight:
+        The exact interior-plus-border-leg count of the selected face.
+    """
+
+    __slots__ = ("separator", "estimated_weight", "true_weight")
+
+    def __init__(self, separator: Optional[List[Node]], estimated_weight: Optional[float], true_weight: Optional[int]):
+        self.separator = separator
+        self.estimated_weight = estimated_weight
+        self.true_weight = true_weight
+
+
+def randomized_separator(
+    graph: nx.Graph,
+    samples: int,
+    seed: int = 0,
+    root: Node | None = None,
+) -> RandomizedOutcome:
+    """One attempt of the sampled-weight separator scheme.
+
+    Parameters
+    ----------
+    graph:
+        Connected planar graph.
+    samples:
+        Number of uniformly sampled nodes used to estimate every face's
+        enclosed fraction.
+    seed:
+        RNG seed (attempts are independent across seeds).
+    """
+    require_planar_connected(graph)
+    n = len(graph)
+    if root is None:
+        root = min(graph.nodes, key=repr)
+    cfg = PlanarConfiguration.build(graph, root=root, tree=bfs_tree(graph, root))
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes, key=repr)
+    sample = [nodes[rng.randrange(n)] for _ in range(max(samples, 1))]
+    best: Optional[Tuple[float, List[Node], int]] = None
+    for e in cfg.real_fundamental_edges():
+        fv = face_view(cfg, e)
+        enclosed = fv.interior() | set(fv.border)
+        hits = sum(1 for s in sample if s in enclosed)
+        estimate = n * hits / len(sample)
+        if n <= 3 * estimate <= 2 * n:
+            if best is None or abs(2 * estimate - n) < abs(2 * best[0] - n):
+                best = (estimate, fv.border, len(enclosed))
+    if best is None:
+        return RandomizedOutcome(None, None, None)
+    return RandomizedOutcome(best[1], best[0], best[2])

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands, mirroring the library's public entry points:
+
+* ``separator`` — Theorem 1 on one generated instance, with balance report
+  and round ledger;
+* ``dfs`` — Theorem 2, with verification, phase stats and the Awerbuch
+  comparison;
+* ``hierarchy`` — the recursive separator decomposition;
+* ``experiment`` — regenerate any of the DESIGN.md §4 experiment tables
+  (``e1`` … ``e14``, or ``all`` / ``all --write`` to rebuild EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+import networkx as nx
+
+from .analysis import experiments, render_table
+from .congest import CostModel, RoundLedger, awerbuch_dfs_run
+from .core.config import PlanarConfiguration
+from .core.dfs import dfs_tree
+from .core.separator import cycle_separator
+from .core.verify import check_dfs_tree, separator_report
+from .planar import generators as gen
+from .shortcuts import build_shortcuts
+from .trees import bfs_tree, dfs_spanning_tree
+
+__all__ = ["main"]
+
+FAMILY_MAKERS: Dict[str, Callable[[int, int], nx.Graph]] = {
+    "grid": lambda n, seed: gen.grid(max(2, round(n**0.5)), max(2, round(n**0.5))),
+    "tri-grid": lambda n, seed: gen.triangulated_grid(
+        max(2, round(n**0.5)), max(2, round(n**0.5))
+    ),
+    "delaunay": lambda n, seed: gen.delaunay(n, seed=seed),
+    "random-planar": lambda n, seed: gen.random_planar(n, density=0.5, seed=seed),
+    "outerplanar": lambda n, seed: gen.outerplanar(n, chords=n // 3, seed=seed),
+    "apollonian": lambda n, seed: gen.apollonian(max(2, (n - 2).bit_length()), seed=seed),
+    "cylinder": lambda n, seed: gen.cylinder(4, max(3, n // 4)),
+    "tree": lambda n, seed: gen.random_tree(n, seed=seed),
+}
+
+
+def _make_graph(args) -> nx.Graph:
+    try:
+        maker = FAMILY_MAKERS[args.family]
+    except KeyError:
+        raise SystemExit(
+            f"unknown family {args.family!r}; choose from {sorted(FAMILY_MAKERS)}"
+        )
+    return maker(args.n, args.seed)
+
+
+def _make_ledger(graph: nx.Graph) -> RoundLedger:
+    diameter = nx.diameter(graph)
+    shortcut = build_shortcuts(graph, [sorted(graph.nodes)])
+    return RoundLedger(CostModel(len(graph), diameter, shortcut.quality))
+
+
+def _cmd_separator(args) -> int:
+    graph = _make_graph(args)
+    root = args.root % len(graph)
+    tree = (dfs_spanning_tree if args.tree == "dfs" else bfs_tree)(graph, root)
+    cfg = PlanarConfiguration.build(graph, root=root, tree=tree)
+    ledger = _make_ledger(graph)
+    result = cycle_separator(cfg, ledger=ledger)
+    report = separator_report(graph, result.path)
+    print(f"instance: {args.family} n={len(graph)} m={graph.number_of_edges()} root={root}")
+    print(f"separator: {report.separator_size} nodes via {result.phase}"
+          + (f" ({result.rule})" if result.rule else ""))
+    print(f"components after removal: {report.components[:6]}"
+          + (" ..." if len(report.components) > 6 else ""))
+    print(f"max component fraction: {report.max_fraction:.3f} (bound 0.667)")
+    print(f"charged rounds: {ledger.total_rounds} "
+          f"(normalized {ledger.normalized():.2f})")
+    return 0 if report.balanced else 1
+
+
+def _cmd_dfs(args) -> int:
+    graph = _make_graph(args)
+    root = args.root % len(graph)
+    ledger = _make_ledger(graph)
+    result = dfs_tree(graph, root, ledger=ledger)
+    check_dfs_tree(graph, result.parent, root)
+    print(f"instance: {args.family} n={len(graph)} m={graph.number_of_edges()} root={root}")
+    print(f"DFS tree verified; height {result.to_tree().height()}")
+    print(f"phases: {result.phases}; separator phases: {result.separator_phases}")
+    print(f"charged rounds: {ledger.total_rounds} "
+          f"(normalized {ledger.normalized():.2f})")
+    if args.awerbuch:
+        baseline = awerbuch_dfs_run(graph, root)
+        print(f"Awerbuch baseline (measured): {baseline.rounds} rounds, "
+              f"{baseline.messages_sent} messages")
+    return 0
+
+
+def _cmd_hierarchy(args) -> int:
+    from .applications import build_hierarchy
+
+    graph = _make_graph(args)
+    hierarchy = build_hierarchy(graph)
+    print(f"instance: {args.family} n={len(graph)}")
+    print(f"hierarchy depth: {hierarchy.depth}")
+    for level, count in sorted(hierarchy.level_sizes().items()):
+        print(f"  level {level}: {count} separator nodes")
+    order = hierarchy.elimination_order()
+    print(f"elimination order covers {len(order)} nodes")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    name = args.id.lower()
+    runners = {
+        full.split("_")[0]: getattr(experiments, full)
+        for full in experiments.__all__
+    }
+    if name == "all":
+        if getattr(args, "write", False):
+            from .analysis.report import write_experiments_md
+
+            text = write_experiments_md()
+            print(f"EXPERIMENTS.md regenerated ({len(text)} characters)")
+            return 0
+        for key in sorted(runners, key=lambda k: int(k[1:])):
+            rows = runners[key]()
+            print(render_table(rows, f"{key.upper()} ({runners[key].__doc__.splitlines()[0]})"))
+        return 0
+    if name not in runners:
+        raise SystemExit(f"unknown experiment {args.id!r}; choose from {sorted(runners)} or 'all'")
+    rows = runners[name]()
+    print(render_table(rows, f"{name.upper()} ({runners[name].__doc__.splitlines()[0]})"))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic distributed DFS via cycle separators (PODC 2025) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(p):
+        p.add_argument("--family", default="delaunay", help=f"one of {sorted(FAMILY_MAKERS)}")
+        p.add_argument("--n", type=int, default=100, help="approximate node count")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--root", type=int, default=0)
+
+    p_sep = sub.add_parser("separator", help="run Theorem 1 on one instance")
+    add_instance_args(p_sep)
+    p_sep.add_argument("--tree", choices=["bfs", "dfs"], default="bfs",
+                       help="spanning-tree flavor")
+    p_sep.set_defaults(func=_cmd_separator)
+
+    p_dfs = sub.add_parser("dfs", help="run Theorem 2 on one instance")
+    add_instance_args(p_dfs)
+    p_dfs.add_argument("--awerbuch", action="store_true",
+                       help="also measure the Awerbuch baseline")
+    p_dfs.set_defaults(func=_cmd_dfs)
+
+    p_h = sub.add_parser("hierarchy", help="recursive separator decomposition")
+    add_instance_args(p_h)
+    p_h.set_defaults(func=_cmd_hierarchy)
+
+    p_e = sub.add_parser("experiment", help="regenerate an experiment table")
+    p_e.add_argument("id", help="e1 .. e14, or 'all'")
+    p_e.add_argument("--write", action="store_true",
+                     help="with 'all': regenerate EXPERIMENTS.md")
+    p_e.set_defaults(func=_cmd_experiment)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""CONGEST substrate: message-level simulator + charged round ledger."""
+
+from .algorithms import bfs_run, broadcast_run, convergecast_run
+from .awerbuch import awerbuch_dfs, awerbuch_dfs_run
+from .ledger import CostModel, RoundLedger
+from .fragments_sim import FragmentRun, MarkPathMergeRun, fragment_merge_run, mark_path_merge_run
+from .mst import MSTRun, boruvka_mst_run
+from .partwise_sim import PartwiseRun, partwise_aggregation_run, partwise_broadcast_run
+from .weights_sim import WeightsRun, weights_problem_run
+from .network import CongestViolation, Network, NodeContext, RunResult
+
+__all__ = [
+    "CongestViolation",
+    "CostModel",
+    "FragmentRun",
+    "MarkPathMergeRun",
+    "MSTRun",
+    "PartwiseRun",
+    "WeightsRun",
+    "Network",
+    "NodeContext",
+    "RoundLedger",
+    "RunResult",
+    "awerbuch_dfs",
+    "awerbuch_dfs_run",
+    "bfs_run",
+    "fragment_merge_run",
+    "boruvka_mst_run",
+    "mark_path_merge_run",
+    "partwise_aggregation_run",
+    "partwise_broadcast_run",
+    "weights_problem_run",
+    "broadcast_run",
+    "convergecast_run",
+]

@@ -1,0 +1,130 @@
+"""Message-level CONGEST primitives: BFS, broadcast, convergecast.
+
+These are the building blocks whose measured round counts anchor the
+charged layer (DESIGN.md §1): BFS-tree construction in :math:`O(D)` rounds,
+downcast/broadcast in :math:`O(D)`, convergecast aggregation in
+:math:`O(D)`.  The test suite checks both the results (against direct
+computation) and the round counts (against the analytic bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+
+from .network import Network, NodeContext, RunResult
+
+Node = Hashable
+
+__all__ = ["bfs_run", "broadcast_run", "convergecast_run"]
+
+
+def bfs_run(graph: nx.Graph, root: Node, slack: int = 4) -> RunResult:
+    """Distributed BFS from ``root``.
+
+    Each node's output is ``(distance, parent)``.  Terminates in
+    ``D + O(1)`` rounds: a node joins the tree the round after its first
+    neighbor does, then halts once no new frontier message arrives.
+    """
+
+    def init(ctx: NodeContext) -> None:
+        ctx.state["dist"] = 0 if ctx.node == root else None
+        ctx.state["parent"] = None
+        ctx.state["announced"] = False
+        ctx.state["quiet"] = 0
+
+    def on_round(ctx: NodeContext, inbox: Dict[Node, Any]) -> Optional[Dict[Node, Any]]:
+        for sender, payload in sorted(inbox.items(), key=lambda kv: repr(kv[0])):
+            dist = payload[0]
+            if ctx.state["dist"] is None or dist + 1 < ctx.state["dist"]:
+                ctx.state["dist"] = dist + 1
+                ctx.state["parent"] = sender
+                ctx.state["announced"] = False
+        if ctx.state["dist"] is not None and not ctx.state["announced"]:
+            ctx.state["announced"] = True
+            ctx.state["quiet"] = 0
+            return {u: (ctx.state["dist"],) for u in ctx.neighbors}
+        ctx.state["quiet"] += 1
+        if ctx.state["dist"] is not None and ctx.state["quiet"] >= slack:
+            ctx.halt((ctx.state["dist"], ctx.state["parent"]))
+        return None
+
+    return Network(graph).run(init, on_round, max_rounds=4 * len(graph) + 16)
+
+
+def broadcast_run(
+    graph: nx.Graph,
+    root: Node,
+    value: int,
+    parent: Dict[Node, Optional[Node]],
+) -> RunResult:
+    """Downcast ``value`` from ``root`` along a known spanning tree.
+
+    Each node outputs the received value; terminates in (tree height + 1)
+    rounds.
+    """
+    children: Dict[Node, list] = {v: [] for v in parent}
+    for v, p in parent.items():
+        if p is not None:
+            children[p].append(v)
+
+    def init(ctx: NodeContext) -> None:
+        if ctx.node == root:
+            ctx.state["value"] = value
+            ctx.state["sent"] = False
+        else:
+            ctx.state["value"] = None
+            ctx.state["sent"] = False
+
+    def on_round(ctx: NodeContext, inbox: Dict[Node, Any]) -> Optional[Dict[Node, Any]]:
+        for payload in inbox.values():
+            ctx.state["value"] = payload[0]
+        if ctx.state["value"] is not None and not ctx.state["sent"]:
+            ctx.state["sent"] = True
+            sends = {c: (ctx.state["value"],) for c in children[ctx.node]}
+            if not children[ctx.node]:
+                ctx.halt(ctx.state["value"])
+            return sends
+        if ctx.state["sent"]:
+            ctx.halt(ctx.state["value"])
+        return None
+
+    return Network(graph).run(init, on_round, max_rounds=2 * len(graph) + 8)
+
+
+def convergecast_run(
+    graph: nx.Graph,
+    root: Node,
+    values: Dict[Node, int],
+    parent: Dict[Node, Optional[Node]],
+    combine: Callable[[int, int], int] = lambda a, b: a + b,
+) -> RunResult:
+    """Aggregate ``values`` up a known spanning tree (sum by default).
+
+    The root's output is the aggregate over all nodes; terminates in (tree
+    height + 1) rounds — each node fires once all its children reported.
+    """
+    children: Dict[Node, list] = {v: [] for v in parent}
+    for v, p in parent.items():
+        if p is not None:
+            children[p].append(v)
+
+    def init(ctx: NodeContext) -> None:
+        ctx.state["acc"] = values[ctx.node]
+        ctx.state["waiting"] = len(children[ctx.node])
+
+    def on_round(ctx: NodeContext, inbox: Dict[Node, Any]) -> Optional[Dict[Node, Any]]:
+        for payload in inbox.values():
+            ctx.state["acc"] = combine(ctx.state["acc"], payload[0])
+            ctx.state["waiting"] -= 1
+        if ctx.state["waiting"] == 0:
+            p = parent[ctx.node]
+            if p is None:
+                ctx.halt(ctx.state["acc"])
+                return None
+            ctx.halt(ctx.state["acc"])
+            return {p: (ctx.state["acc"],)}
+        return None
+
+    return Network(graph).run(init, on_round, max_rounds=2 * len(graph) + 8)

@@ -1,0 +1,112 @@
+"""Awerbuch's distributed DFS (IPL 1985) — the classic O(n) baseline.
+
+This is the algorithm the paper's Theorem 2 improves on: a token performs
+the depth-first traversal, but before forwarding, a freshly visited node
+notifies all neighbors in one round ("I am visited") so the token never
+travels to a visited node.  Total rounds :math:`\\le 4n`; the lower-order
+per-visit overhead is what makes DFS inherently sequential without the
+paper's separator machinery.
+
+Implemented at the message level on the simulator, so the measured rounds
+in experiment E2 are the real thing, not a formula.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+
+from .network import Network, NodeContext, RunResult
+
+Node = Hashable
+
+__all__ = ["awerbuch_dfs_run", "awerbuch_dfs"]
+
+# message kinds
+_VISITED = 0  # "I have been visited" notification
+_TOKEN = 1    # DFS token, forwarding the search
+_RETURN = 2   # token returning to the parent
+
+
+def awerbuch_dfs_run(graph: nx.Graph, root: Node) -> RunResult:
+    """Run Awerbuch's DFS; each node outputs ``(parent, depth)``."""
+
+    def init(ctx: NodeContext) -> None:
+        ctx.state.update(
+            visited=ctx.node == root,
+            parent=None,
+            depth=0 if ctx.node == root else None,
+            neighbors_visited=set(),
+            has_token=ctx.node == root,
+            pending_notify=ctx.node == root,
+            done=False,
+        )
+
+    def _next_child(ctx: NodeContext):
+        for u in ctx.neighbors:
+            if u not in ctx.state["neighbors_visited"] and u != ctx.state["parent"]:
+                return u
+        return None
+
+    def on_round(ctx: NodeContext, inbox: Dict[Node, Any]) -> Optional[Dict[Node, Any]]:
+        state = ctx.state
+        sends: Dict[Node, Any] = {}
+        token_arrived = False
+        for sender, payload in inbox.items():
+            kind = payload[0]
+            if kind == _VISITED:
+                state["neighbors_visited"].add(sender)
+            elif kind == _TOKEN:
+                token_arrived = True
+                if not state["visited"]:
+                    state["visited"] = True
+                    state["parent"] = sender
+                    state["depth"] = payload[1] + 1
+                    state["pending_notify"] = True
+                state["has_token"] = True
+            elif kind == _RETURN:
+                state["has_token"] = True
+
+        if state["pending_notify"]:
+            # Notification round: tell everyone we are visited; hold the
+            # token for one round so neighbors mark us before it moves.
+            state["pending_notify"] = False
+            for u in ctx.neighbors:
+                sends[u] = (_VISITED,)
+            return sends
+
+        if state["has_token"]:
+            state["has_token"] = False
+            child = _next_child(ctx)
+            if child is not None:
+                state["neighbors_visited"].add(child)
+                sends[child] = (_TOKEN, state["depth"])
+            elif state["parent"] is not None:
+                sends[ctx.state["parent"]] = (_RETURN,)
+                ctx.halt((state["parent"], state["depth"]))
+            else:
+                ctx.halt((state["parent"], state["depth"]))
+            return sends
+        # A visited node with no token idles; it halts lazily when the
+        # traversal finishes (handled by the max-round cap on completion).
+        if state["visited"] and state["done"]:
+            ctx.halt((state["parent"], state["depth"]))
+        return None
+
+    network = Network(graph)
+    result = network.run(init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize)
+    return result
+
+
+def _finalize(ctx: NodeContext) -> Tuple[Optional[Node], Optional[int]]:
+    if ctx.output is not None:
+        return ctx.output
+    return (ctx.state.get("parent"), ctx.state.get("depth"))
+
+
+def awerbuch_dfs(graph: nx.Graph, root: Node) -> Tuple[Dict[Node, Optional[Node]], int]:
+    """Convenience wrapper: returns ``(parent map, measured rounds)``."""
+    result = awerbuch_dfs_run(graph, root)
+    parent = {v: out[0] for v, out in result.outputs.items()}
+    return parent, result.rounds

@@ -1,0 +1,185 @@
+"""Synchronous message-passing simulator for the CONGEST model.
+
+The model (Peleg [17], Section 1 of the paper): a network of nodes, one per
+graph vertex, proceeding in synchronous rounds; per round every node may
+send one message of :math:`O(\\log n)` bits over each incident edge.  This
+simulator runs node programs faithfully — message delivery, round
+synchronization and per-message bandwidth accounting are real, so measured
+round counts are model-accurate for the primitives implemented at this
+level (BFS, broadcast, convergecast, Awerbuch's DFS).
+
+Bandwidth accounting: payloads are tuples of identifiers/integers; each
+word costs :math:`\\lceil \\log_2 n \\rceil` bits and the run reports the
+maximum words per message, so a bandwidth violation is visible instead of
+silently ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+Node = Hashable
+
+__all__ = ["NodeContext", "Network", "RunResult", "CongestViolation"]
+
+# Permissive default: a CONGEST message is O(log n) bits = O(1) words.
+MAX_WORDS_PER_MESSAGE = 8
+
+
+class CongestViolation(RuntimeError):
+    """A node program sent a message exceeding the bandwidth budget."""
+
+
+class NodeContext:
+    """Per-node runtime state handed to node programs.
+
+    Attributes
+    ----------
+    node:
+        This node's identifier.
+    neighbors:
+        Incident nodes, in a fixed order.
+    state:
+        Free-form per-node storage for the program.
+    halted:
+        Set via :meth:`halt`; a halted node sends nothing and the run ends
+        when every node has halted.
+    """
+
+    __slots__ = ("node", "neighbors", "state", "halted", "output")
+
+    def __init__(self, node: Node, neighbors: Tuple[Node, ...]):
+        self.node = node
+        self.neighbors = neighbors
+        self.state: Dict[str, Any] = {}
+        self.halted = False
+        self.output: Any = None
+
+    def halt(self, output: Any = None) -> None:
+        """Stop participating; record this node's output."""
+        self.halted = True
+        if output is not None:
+            self.output = output
+
+
+class RunResult:
+    """Outcome of a simulated run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds executed.
+    outputs:
+        Node -> output recorded at halt time (or final state hook).
+    messages_sent:
+        Total messages delivered.
+    max_words:
+        Maximum payload words observed in any single message.
+    """
+
+    __slots__ = ("rounds", "outputs", "messages_sent", "max_words")
+
+    def __init__(self, rounds: int, outputs: Dict[Node, Any], messages_sent: int, max_words: int):
+        self.rounds = rounds
+        self.outputs = outputs
+        self.messages_sent = messages_sent
+        self.max_words = max_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunResult(rounds={self.rounds}, messages={self.messages_sent}, "
+            f"max_words={self.max_words})"
+        )
+
+
+def _payload_words(payload: Any) -> int:
+    if payload is None:
+        return 0
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_words(x) for x in payload) or 1
+    return 1
+
+
+class Network:
+    """A CONGEST network over an undirected graph.
+
+    A *node program* is a pair of callables:
+
+    * ``init(ctx)`` — runs before round 1;
+    * ``on_round(ctx, inbox)`` — runs each round with
+      ``inbox: dict neighbor -> payload`` of last round's messages, and
+      returns ``dict neighbor -> payload`` to send this round (or ``None``).
+
+    The run ends when every node has halted, or after ``max_rounds``.
+    """
+
+    def __init__(self, graph: nx.Graph, max_words: int = MAX_WORDS_PER_MESSAGE):
+        if len(graph) == 0:
+            raise ValueError("empty network")
+        self.graph = graph
+        self.max_words = max_words
+
+    def run(
+        self,
+        init: Callable[[NodeContext], None],
+        on_round: Callable[[NodeContext, Dict[Node, Any]], Optional[Dict[Node, Any]]],
+        max_rounds: int,
+        finalize: Optional[Callable[[NodeContext], Any]] = None,
+        stop_when_quiet: bool = False,
+    ) -> RunResult:
+        """Execute a node program on every node synchronously.
+
+        ``stop_when_quiet`` ends the run once a round passes with no message
+        sent and none in flight — the natural stopping rule for flooding
+        protocols whose nodes never halt explicitly.
+        """
+        contexts: Dict[Node, NodeContext] = {
+            v: NodeContext(v, tuple(self.graph.neighbors(v))) for v in self.graph.nodes
+        }
+        for ctx in contexts.values():
+            init(ctx)
+        in_flight: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.graph.nodes}
+        rounds = 0
+        messages = 0
+        max_words_seen = 0
+        quiet_last_round = False
+        while rounds < max_rounds:
+            if all(ctx.halted for ctx in contexts.values()):
+                break
+            if (
+                stop_when_quiet
+                and rounds > 0
+                and not any(in_flight[v] for v in in_flight)
+                and quiet_last_round
+            ):
+                break
+            rounds += 1
+            outgoing: List[Tuple[Node, Node, Any]] = []
+            for v, ctx in contexts.items():
+                if ctx.halted:
+                    continue
+                sends = on_round(ctx, in_flight[v]) or {}
+                for target, payload in sends.items():
+                    if target not in contexts or not self.graph.has_edge(v, target):
+                        raise CongestViolation(
+                            f"{v!r} tried to message non-neighbor {target!r}"
+                        )
+                    words = _payload_words(payload)
+                    if words > self.max_words:
+                        raise CongestViolation(
+                            f"message {v!r}->{target!r} has {words} words "
+                            f"(budget {self.max_words})"
+                        )
+                    max_words_seen = max(max_words_seen, words)
+                    outgoing.append((v, target, payload))
+            quiet_last_round = not outgoing
+            in_flight = {v: {} for v in self.graph.nodes}
+            for source, target, payload in outgoing:
+                in_flight[target][source] = payload
+                messages += 1
+        outputs: Dict[Node, Any] = {}
+        for v, ctx in contexts.items():
+            outputs[v] = finalize(ctx) if finalize is not None else ctx.output
+        return RunResult(rounds, outputs, messages, max_words_seen)

@@ -1,0 +1,65 @@
+"""The paper's contribution: cycle separators (Thm 1) and DFS trees (Thm 2)."""
+
+from .augment import AugmentationError, balanced_insertion, heavy_nested_insertion, insertion_variants
+from .config import ConfigurationError, PlanarConfiguration
+from .dfs import DFSError, DFSResult, dfs_tree
+from .faces import FaceView, face_view
+from .hidden import hiding_edges, is_hidden
+from .regions import CycleRegions, RegionError, cycle_regions
+from .separator import (
+    SeparatorError,
+    SeparatorResult,
+    compute_cycle_separators,
+    cycle_separator,
+)
+from .verify import (
+    SeparatorReport,
+    VerificationError,
+    check_dfs_tree,
+    check_partial_dfs,
+    check_separator,
+    separator_report,
+)
+from .weights import (
+    augmented_weight,
+    face_order,
+    interior_by_orders,
+    orientation,
+    side_sets,
+    weight,
+)
+
+__all__ = [
+    "AugmentationError",
+    "ConfigurationError",
+    "CycleRegions",
+    "DFSError",
+    "DFSResult",
+    "FaceView",
+    "PlanarConfiguration",
+    "RegionError",
+    "SeparatorError",
+    "SeparatorReport",
+    "SeparatorResult",
+    "VerificationError",
+    "augmented_weight",
+    "balanced_insertion",
+    "check_dfs_tree",
+    "check_partial_dfs",
+    "check_separator",
+    "compute_cycle_separators",
+    "cycle_regions",
+    "cycle_separator",
+    "dfs_tree",
+    "face_order",
+    "face_view",
+    "heavy_nested_insertion",
+    "hiding_edges",
+    "insertion_variants",
+    "interior_by_orders",
+    "is_hidden",
+    "orientation",
+    "separator_report",
+    "side_sets",
+    "weight",
+]

@@ -1,0 +1,233 @@
+"""Planar configurations — the paper's triplets :math:`(G, \\mathcal{E}, T)`.
+
+A :class:`PlanarConfiguration` bundles a connected planar graph, a rotation
+system, and a rooted spanning tree, **normalized** the way every proof in the
+paper assumes:
+
+* the rotation of every non-root node starts with its tree parent
+  (the paper's ":math:`t_v(e) = 1` for the parent edge");
+* the root's rotation starts at the *anchor* slot — the position where the
+  virtual root :math:`r_0` of Section 4 is inserted.  The face of the
+  embedding containing that corner at the root plays the role of the outer
+  face; fundamental faces are always the side of a cycle *not* containing it.
+
+On top of the normalized rotation the configuration precomputes everything
+Definition 2 consumes: the LEFT/RIGHT-DFS-ORDERs :math:`\\pi_\\ell, \\pi_r`,
+subtree sizes :math:`n_T(v)`, depths :math:`d_T(v)`, and the per-subtree
+position ranges used for O(1) ancestor tests (exactly the information the
+distributed DFS-ORDER algorithm of Lemma 11 leaves at the nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..planar.checks import require_planar_connected
+from ..planar.construct import embed, embed_subgraph
+from ..planar.rotation import RotationSystem
+from ..trees.rooted import RootedTree
+from ..trees.spanning import bfs_tree
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["PlanarConfiguration", "ConfigurationError"]
+
+
+class ConfigurationError(ValueError):
+    """Raised when (G, E, T) are mutually inconsistent."""
+
+
+class PlanarConfiguration:
+    """A normalized planar configuration :math:`(G, \\mathcal{E}, T)`.
+
+    Parameters
+    ----------
+    graph:
+        Connected planar graph.
+    rotation:
+        Rotation system of exactly ``graph`` (any anchor; it is re-normalized).
+    tree:
+        Rooted spanning tree of ``graph``.
+    root_anchor:
+        Optional neighbor of the root that should sit at rotation position 0;
+        the virtual root is inserted just before it.  Defaults to the root's
+        first listed neighbor.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        rotation: RotationSystem,
+        tree: RootedTree,
+        root_anchor: Optional[Node] = None,
+    ):
+        self.graph = graph
+        self.tree = tree
+        self.n = len(graph)
+        self._validate(graph, rotation, tree)
+        self.rotation = self._normalize(rotation, tree, root_anchor)
+        # DFS orders, 1-based, plus subtree position ranges in both orders.
+        self.pi_left: Dict[Node, int] = {}
+        self.pi_right: Dict[Node, int] = {}
+        self._order_children_left: Dict[Node, List[Node]] = {}
+        self._order_children_right: Dict[Node, List[Node]] = {}
+        self._compute_orders()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: nx.Graph,
+        root: Optional[Node] = None,
+        tree: Optional[RootedTree] = None,
+        rotation: Optional[RotationSystem] = None,
+    ) -> "PlanarConfiguration":
+        """Convenience constructor: embed + BFS spanning tree by default."""
+        require_planar_connected(graph)
+        if root is None:
+            root = tree.root if tree is not None else min(graph.nodes, key=repr)
+        if rotation is None:
+            rotation = embed(graph)
+        if tree is None:
+            tree = bfs_tree(graph, root)
+        return cls(graph, rotation, tree)
+
+    @classmethod
+    def for_part(
+        cls,
+        graph: nx.Graph,
+        rotation: RotationSystem,
+        part: Sequence[Node],
+        tree: RootedTree,
+    ) -> "PlanarConfiguration":
+        """Configuration of an induced part with the inherited embedding."""
+        subgraph = graph.subgraph(part).copy()
+        sub_rotation = embed_subgraph(rotation, part)
+        return cls(subgraph, sub_rotation, tree)
+
+    @staticmethod
+    def _validate(graph: nx.Graph, rotation: RotationSystem, tree: RootedTree) -> None:
+        if set(rotation.nodes) != set(graph.nodes):
+            raise ConfigurationError("rotation and graph have different node sets")
+        if set(tree.nodes) != set(graph.nodes):
+            raise ConfigurationError("tree is not spanning")
+        for v in graph.nodes:
+            if set(rotation.neighbors_cw(v)) != set(graph.neighbors(v)):
+                raise ConfigurationError(f"rotation of {v!r} does not match the graph")
+        for p, c in tree.edges():
+            if not graph.has_edge(p, c):
+                raise ConfigurationError(f"tree edge {p!r}-{c!r} is not a graph edge")
+
+    @staticmethod
+    def _normalize(
+        rotation: RotationSystem,
+        tree: RootedTree,
+        root_anchor: Optional[Node],
+    ) -> RotationSystem:
+        order: Dict[Node, List[Node]] = {}
+        for v in rotation.nodes:
+            nbrs = list(rotation.neighbors_cw(v))
+            if not nbrs:
+                order[v] = nbrs
+                continue
+            if v == tree.root:
+                first = root_anchor if root_anchor is not None else nbrs[0]
+            else:
+                first = tree.parent[v]
+            if first not in nbrs:
+                raise ConfigurationError(
+                    f"normalization target {first!r} is not a neighbor of {v!r}"
+                )
+            i = nbrs.index(first)
+            order[v] = nbrs[i:] + nbrs[:i]
+        return RotationSystem(order)
+
+    # ------------------------------------------------------------------
+    # DFS orders (paper Section 3.1.1)
+    # ------------------------------------------------------------------
+    def _children_in_rotation(self, v: Node) -> List[Node]:
+        """T-children of ``v`` in rotation order (parent/anchor first slot)."""
+        children = set(self.tree.children[v])
+        return [u for u in self.rotation.neighbors_cw(v) if u in children]
+
+    def _compute_orders(self) -> None:
+        tree = self.tree
+        for v in tree.nodes:
+            in_rot = self._children_in_rotation(v)
+            # RIGHT-DFS-ORDER explores children by ascending rotation
+            # position (the paper: "smaller position in t_v first");
+            # LEFT-DFS-ORDER by descending position.
+            self._order_children_right[v] = in_rot
+            self._order_children_left[v] = list(reversed(in_rot))
+        self._preorder(self._order_children_left, self.pi_left)
+        self._preorder(self._order_children_right, self.pi_right)
+
+    def _preorder(self, child_order: Dict[Node, List[Node]], out: Dict[Node, int]) -> None:
+        counter = 1
+        stack = [self.tree.root]
+        while stack:
+            v = stack.pop()
+            out[v] = counter
+            counter += 1
+            stack.extend(reversed(child_order[v]))
+
+    # ------------------------------------------------------------------
+    # queries used throughout the algorithm
+    # ------------------------------------------------------------------
+    def left_range(self, v: Node) -> Tuple[int, int]:
+        """Closed interval of :math:`\\pi_\\ell` positions of :math:`T_v`."""
+        lo = self.pi_left[v]
+        return (lo, lo + self.tree.subtree_size[v] - 1)
+
+    def right_range(self, v: Node) -> Tuple[int, int]:
+        """Closed interval of :math:`\\pi_r` positions of :math:`T_v`."""
+        lo = self.pi_right[v]
+        return (lo, lo + self.tree.subtree_size[v] - 1)
+
+    def is_ancestor(self, a: Node, b: Node) -> bool:
+        """Ancestor test via order ranges (what the endpoints of a
+        fundamental edge do with one exchanged message, Lemma 12)."""
+        lo, hi = self.left_range(a)
+        return lo <= self.pi_left[b] <= hi
+
+    def t(self, v: Node) -> Tuple[Node, ...]:
+        """The normalized rotation :math:`t_v` (parent/anchor first)."""
+        return self.rotation.neighbors_cw(v)
+
+    def t_position(self, v: Node, u: Node) -> int:
+        """Position of ``u`` in the normalized :math:`t_v` (0 = parent)."""
+        return self.rotation.position(v, u)
+
+    def real_fundamental_edges(self) -> List[Edge]:
+        """All real fundamental edges, each as ``(u, v)`` with
+        :math:`\\pi_\\ell(u) < \\pi_\\ell(v)` (the paper's convention)."""
+        out: List[Edge] = []
+        tree = self.tree
+        for a, b in self.graph.edges():
+            if tree.parent.get(a) == b or tree.parent.get(b) == a:
+                continue
+            if self.pi_left[a] < self.pi_left[b]:
+                out.append((a, b))
+            else:
+                out.append((b, a))
+        return out
+
+    def orient(self, e: Edge) -> Edge:
+        """Return ``e`` ordered so :math:`\\pi_\\ell(u) < \\pi_\\ell(v)`."""
+        u, v = e
+        return (u, v) if self.pi_left[u] < self.pi_left[v] else (v, u)
+
+    def is_tree_edge(self, u: Node, v: Node) -> bool:
+        """Whether ``uv`` is an edge of the spanning tree."""
+        return self.tree.parent.get(u) == v or self.tree.parent.get(v) == u
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PlanarConfiguration(n={self.n}, m={self.graph.number_of_edges()}, "
+            f"root={self.tree.root!r})"
+        )

@@ -1,0 +1,270 @@
+"""Deterministic DFS-tree construction — the paper's Theorem 2.
+
+The *main algorithm* (Sections 3.2 / 6.2) grows a partial DFS tree
+:math:`T_d` in :math:`O(\\log n)` phases.  Each phase, in parallel over the
+connected components of :math:`G - T_d`:
+
+1. computes a cycle separator of the component (Theorem 1 — the machinery
+   of :mod:`repro.core.separator`), and
+2. joins the separator to :math:`T_d` with the DFS-RULE (the JOIN-PROBLEM,
+   Lemma 2): repeatedly hang the path from the component node with the
+   deepest :math:`T_d`-neighbor to the farthest still-marked node, halving
+   the un-joined part of the separator each iteration.
+
+Because every phase swallows a separator of every component, component
+sizes shrink by a factor of at least :math:`2/3` per phase, giving the
+:math:`O(\\log n)` phase bound and, with every subroutine at
+:math:`\\tilde{O}(D)` rounds, the overall :math:`\\tilde{O}(D)` bound.
+
+The result is verified by the classical characterization (every non-tree
+edge joins an ancestor-descendant pair) in :func:`repro.core.verify.
+check_dfs_tree`, which the test suite applies to every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..planar.checks import require_planar_connected
+from ..planar.construct import embed, embed_subgraph
+from ..planar.rotation import RotationSystem
+from ..trees.rooted import RootedTree
+from .config import PlanarConfiguration
+from .separator import SeparatorResult, cycle_separator
+
+Node = Hashable
+
+__all__ = ["DFSResult", "dfs_tree", "DFSError"]
+
+
+class DFSError(RuntimeError):
+    """An algorithm invariant failed during DFS construction."""
+
+
+class DFSResult:
+    """Output of the deterministic DFS algorithm.
+
+    Attributes
+    ----------
+    parent:
+        Node -> parent in the DFS tree (root -> ``None``).  This is the
+    paper's distributed output: every node knows its parent and depth.
+    depth:
+        Node -> distance from the root in the DFS tree.
+    root:
+        The requested root.
+    phases:
+        Number of main-loop phases executed (Theorem 2: :math:`O(\\log n)`).
+    join_iterations:
+        Per phase, the maximum number of JOIN halving iterations used by any
+        component (Lemma 2: :math:`O(\\log n)` each).
+    separator_phases:
+        Tally of which separator phase fired, over all components and
+        main-loop phases (experiment E4's data).
+    shrink_factors:
+        Per phase, ``max component size after / max component size before``
+        (Theorem 2's 2/3 claim, experiment E10's data).
+    """
+
+    __slots__ = (
+        "parent",
+        "depth",
+        "root",
+        "phases",
+        "join_iterations",
+        "separator_phases",
+        "shrink_factors",
+    )
+
+    def __init__(self, root: Node):
+        self.root = root
+        self.parent: Dict[Node, Optional[Node]] = {root: None}
+        self.depth: Dict[Node, int] = {root: 0}
+        self.phases = 0
+        self.join_iterations: List[int] = []
+        self.separator_phases: Dict[str, int] = {}
+        self.shrink_factors: List[float] = []
+
+    def to_tree(self) -> RootedTree:
+        """The DFS tree as a :class:`RootedTree`."""
+        return RootedTree(self.parent, self.root)
+
+
+def dfs_tree(
+    graph: nx.Graph,
+    root: Node,
+    rotation: Optional[RotationSystem] = None,
+    ledger=None,
+) -> DFSResult:
+    """Compute a DFS tree of a connected planar graph rooted at ``root``.
+
+    This is Theorem 2's algorithm; the returned structure carries the
+    per-phase statistics the experiment harness reports.
+    """
+    require_planar_connected(graph)
+    if root not in graph:
+        raise ValueError(f"root {root!r} is not a graph node")
+    if rotation is None:
+        rotation = embed(graph)
+        if ledger is not None:
+            ledger.charge_subroutine("planar-embedding")
+    result = DFSResult(root)
+    in_tree: Set[Node] = {root}
+    n = len(graph)
+    guard = 0
+    while len(in_tree) < n:
+        guard += 1
+        if guard > 4 * max(n, 2).bit_length() + 8:
+            raise DFSError("main loop did not terminate in O(log n) phases")
+        result.phases += 1
+        if ledger is not None:
+            ledger.begin_parallel()
+        components = [set(c) for c in nx.connected_components(graph.subgraph(set(graph.nodes) - in_tree))]
+        before = max(len(c) for c in components)
+        max_join = 0
+        for component in components:
+            if ledger is not None:
+                ledger.begin_branch()
+            separator = _component_separator(graph, rotation, component, result, ledger)
+            result.separator_phases[separator.phase] = (
+                result.separator_phases.get(separator.phase, 0) + 1
+            )
+            iterations = _join(graph, component, set(separator.path), result, ledger)
+            max_join = max(max_join, iterations)
+        if ledger is not None:
+            ledger.end_parallel()
+        in_tree = set(result.parent)
+        remaining = set(graph.nodes) - in_tree
+        after = 0
+        if remaining:
+            after = max(len(c) for c in nx.connected_components(graph.subgraph(remaining)))
+        result.join_iterations.append(max_join)
+        result.shrink_factors.append(after / before if before else 0.0)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Step 1: per-component separator
+# ----------------------------------------------------------------------
+def _component_separator(
+    graph: nx.Graph,
+    rotation: RotationSystem,
+    component: Set[Node],
+    result: DFSResult,
+    ledger,
+) -> SeparatorResult:
+    """Theorem 1 applied to one component of :math:`G - T_d`.
+
+    The component's spanning tree is rooted at the node with the deepest
+    neighbor in the partial tree — the same root the JOIN step will use.
+    """
+    subgraph = graph.subgraph(component).copy()
+    root = _deepest_attachment(graph, component, result)[0]
+    tree = _attachment_spanning_tree(subgraph, root, set())
+    cfg = PlanarConfiguration(subgraph, embed_subgraph(rotation, component), tree)
+    return cycle_separator(cfg, ledger=ledger)
+
+
+def _deepest_attachment(
+    graph: nx.Graph,
+    nodes: Set[Node],
+    result: DFSResult,
+) -> Tuple[Node, Node]:
+    """The component node with the deepest :math:`T_d`-neighbor, plus that
+    neighbor (the DFS-RULE's attachment point)."""
+    best: Optional[Tuple[int, str, Node, Node]] = None
+    for v in nodes:
+        for w in graph.neighbors(v):
+            if w in result.parent:
+                key = (result.depth[w], repr(w), repr(v))
+                if best is None or (key[0], key[1]) > (best[0], best[1]):
+                    best = (result.depth[w], repr(w), v, w)
+    if best is None:
+        raise DFSError("component has no attachment to the partial DFS tree")
+    return best[2], best[3]
+
+
+def _attachment_spanning_tree(
+    subgraph: nx.Graph,
+    root: Node,
+    marked: Set[Node],
+) -> RootedTree:
+    """Spanning tree preferring marked-marked edges (the paper's 0/1-weight
+    MST of Lemma 2, which clusters the remaining separator nodes into
+    tree paths).  Implemented as a prioritized graph search."""
+    parent: Dict[Node, Optional[Node]] = {root: None}
+    # Two-tier frontier: weight-0 edges (both endpoints marked) first.
+    light: List[Tuple[Node, Node]] = []
+    heavy: List[Tuple[Node, Node]] = [(root, u) for u in subgraph.neighbors(root)]
+    while light or heavy:
+        v, u = light.pop() if light else heavy.pop()
+        if u in parent:
+            continue
+        parent[u] = v
+        for w in subgraph.neighbors(u):
+            if w in parent:
+                continue
+            if u in marked and w in marked:
+                light.append((u, w))
+            else:
+                heavy.append((u, w))
+    if len(parent) != len(subgraph):
+        raise DFSError("component subgraph is not connected")
+    return RootedTree(parent, root)
+
+
+# ----------------------------------------------------------------------
+# Step 2: JOIN-PROBLEM (Lemma 2)
+# ----------------------------------------------------------------------
+def _join(
+    graph: nx.Graph,
+    component: Set[Node],
+    marked: Set[Node],
+    result: DFSResult,
+    ledger,
+) -> int:
+    """Add all ``marked`` separator nodes of one component to the partial
+    DFS tree with the DFS-RULE; returns the number of halving iterations."""
+    pending: List[Tuple[Set[Node], Set[Node]]] = [(component, marked)]
+    iterations = 0
+    guard = 4 * max(len(component), 2).bit_length() + 8
+    while pending:
+        iterations += 1
+        if iterations > guard:
+            raise DFSError("JOIN did not terminate in O(log n) iterations")
+        if ledger is not None:
+            ledger.charge_subroutine("join-iteration")
+        next_pending: List[Tuple[Set[Node], Set[Node]]] = []
+        for nodes, todo in pending:
+            r, attach = _deepest_attachment(graph, nodes, result)
+            tree = _attachment_spanning_tree(graph.subgraph(nodes).copy(), r, todo)
+            target = _farthest_marked(tree, todo)
+            path = tree.path(r, target)
+            # DFS-RULE: hang the path below the attachment point; parents
+            # and depths are final from now on.
+            base = result.depth[attach]
+            previous = attach
+            for offset, x in enumerate(path):
+                result.parent[x] = previous
+                result.depth[x] = base + 1 + offset
+                previous = x
+            added = set(path)
+            rest = nodes - added
+            still = todo - added
+            if not still:
+                continue
+            for sub in nx.connected_components(graph.subgraph(rest)):
+                sub = set(sub)
+                if sub & still:
+                    next_pending.append((sub, sub & still))
+        pending = next_pending
+    return iterations
+
+
+def _farthest_marked(tree: RootedTree, marked: Set[Node]) -> Node:
+    """The marked node the paper's JOIN picks: the farthest (deepest) from
+    the top of the marked Steiner tree, so at least half of the deepest
+    marked path joins this iteration."""
+    return max(marked, key=lambda m: (tree.depth[m], repr(m)))

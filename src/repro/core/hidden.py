@@ -1,0 +1,108 @@
+"""Hidden nodes and hiding edges — the paper's Definition 4 / Lemma 6.
+
+A node ``z`` inside a fundamental face :math:`F_e` (``e = uv``) is *hidden*
+when some real fundamental edge ``f`` contained in :math:`F_e` walls it off
+from ``u``: either ``f`` avoids ``u`` entirely (condition 1), or ``f`` is
+incident to ``u`` but drops part of :math:`T_u \\cap F_e` (condition 2).
+Lemma 6 shows a leaf is :math:`(T, F_e)`-compatible with ``u`` exactly when
+it is not hidden, which is how Phase 4 decides whether the virtual edge to
+its chosen leaf can actually be drawn.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Set, Tuple
+
+from .config import PlanarConfiguration
+from .faces import FaceView, face_view
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+__all__ = ["hiding_edges", "is_hidden", "hiding_edges_in_region"]
+
+
+def _t_u_face_nodes(cfg: PlanarConfiguration, fv: FaceView, interior: Set[Node]) -> Set[Node]:
+    """:math:`V(T_u) \\cap V(F_e)` — ``u`` plus its inside child subtrees."""
+    tree = cfg.tree
+    out: Set[Node] = {fv.u}
+    for c in fv.children_inside(fv.u):
+        out.update(tree.subtree_nodes(c))
+    return out
+
+
+def hiding_edges(
+    cfg: PlanarConfiguration,
+    fv: FaceView,
+    z: Node,
+    interior: Set[Node] | None = None,
+) -> List[Tuple[Edge, FaceView]]:
+    """All real fundamental edges hiding ``z`` in :math:`F_e`.
+
+    Returns pairs ``(f, face_view_of_f)``; empty means ``z`` is
+    :math:`(T, F_e)`-compatible with ``u`` (for a leaf ``z``, by Lemma 6).
+    """
+    if interior is None:
+        interior = fv.interior()
+    if z not in interior:
+        raise ValueError(f"{z!r} is not inside the face")
+    u = fv.u
+    t_u_nodes = _t_u_face_nodes(cfg, fv, interior)
+    out: List[Tuple[Edge, FaceView]] = []
+    for f in cfg.real_fundamental_edges():
+        if set(f) == {fv.u, fv.v}:
+            continue
+        if not fv.contains_edge(f, interior_cache=interior):
+            continue
+        f_view = face_view(cfg, f)
+        f_interior = f_view.interior()
+        if z not in f_interior:
+            continue
+        if u not in f:
+            out.append((f, f_view))
+        elif not t_u_nodes <= (f_interior | set(f_view.border)):
+            out.append((f, f_view))
+    return out
+
+
+def is_hidden(
+    cfg: PlanarConfiguration,
+    fv: FaceView,
+    z: Node,
+    interior: Set[Node] | None = None,
+) -> bool:
+    """Whether ``z`` is hidden in :math:`F_e` (Definition 4)."""
+    return bool(hiding_edges(cfg, fv, z, interior))
+
+
+def hiding_edges_in_region(
+    cfg: PlanarConfiguration,
+    region: Set[Node],
+    border: Set[Node],
+    anchor: Node,
+    z: Node,
+) -> List[Tuple[Edge, FaceView]]:
+    """Hiding edges for the *virtual* faces of Phase 5's reduction.
+
+    Phase 5 simulates Phase 4 inside a virtual fundamental face whose
+    interior is one of the outside sets :math:`F^e_\\ell / F^e_r` and whose
+    augmentation endpoint is the root (Lemma 8's construction).  A real
+    fundamental edge ``f`` hides ``z`` here when its face lies within the
+    region and encloses ``z``; the ``u``-incidence exemption of Definition 4
+    applies to ``anchor`` (the root).
+    """
+    out: List[Tuple[Edge, FaceView]] = []
+    allowed = region | border
+    for f in cfg.real_fundamental_edges():
+        f_view = face_view(cfg, f)
+        f_interior = f_view.interior()
+        if z not in f_interior:
+            continue
+        f_nodes = f_interior | set(f_view.border)
+        if not f_nodes <= allowed:
+            continue
+        if anchor not in f:
+            out.append((f, f_view))
+        elif not (region & set(cfg.graph.nodes)) <= f_nodes:
+            out.append((f, f_view))
+    return out

@@ -1,0 +1,154 @@
+"""Validity checkers for separators and DFS trees.
+
+These are the end-to-end correctness gates of the test suite and experiment
+E3: they restate the *definitions* (separator set, Section 1; DFS tree
+characterization) independently of any algorithmic machinery, so a bug in
+the face/weight chain cannot hide behind itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..trees.rooted import RootedTree
+
+Node = Hashable
+
+__all__ = [
+    "separator_report",
+    "check_separator",
+    "check_dfs_tree",
+    "check_partial_dfs",
+    "SeparatorReport",
+    "VerificationError",
+]
+
+
+class VerificationError(AssertionError):
+    """A produced artifact violates its definition."""
+
+
+class SeparatorReport:
+    """Balance report of a separator set.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes of the (sub)graph.
+    separator_size:
+        Number of separator nodes.
+    components:
+        Sizes of the connected components of ``G - S``, descending.
+    max_fraction:
+        ``max(components) / n`` (0.0 when nothing remains).
+    """
+
+    __slots__ = ("n", "separator_size", "components")
+
+    def __init__(self, n: int, separator_size: int, components: List[int]):
+        self.n = n
+        self.separator_size = separator_size
+        self.components = components
+
+    @property
+    def max_fraction(self) -> float:
+        return (self.components[0] / self.n) if self.components else 0.0
+
+    @property
+    def balanced(self) -> bool:
+        """The separator-set condition: every component has <= 2n/3 nodes."""
+        return all(3 * c <= 2 * self.n for c in self.components)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SeparatorReport(n={self.n}, |S|={self.separator_size}, "
+            f"max_fraction={self.max_fraction:.3f})"
+        )
+
+
+def separator_report(graph: nx.Graph, separator: Iterable[Node]) -> SeparatorReport:
+    """Component-size report of removing ``separator`` from ``graph``."""
+    sep = set(separator)
+    unknown = sep - set(graph.nodes)
+    if unknown:
+        raise VerificationError(f"separator contains non-nodes: {sorted(map(repr, unknown))}")
+    rest = graph.subgraph(set(graph.nodes) - sep)
+    components = sorted((len(c) for c in nx.connected_components(rest)), reverse=True)
+    return SeparatorReport(len(graph), len(sep), components)
+
+
+def check_separator(
+    graph: nx.Graph,
+    separator: Sequence[Node],
+    tree: Optional[RootedTree] = None,
+) -> SeparatorReport:
+    """Assert that ``separator`` is a cycle separator of ``graph``.
+
+    Checks the balance condition (every component of ``G - S`` has at most
+    ``2n/3`` nodes) and, when ``tree`` is given, that the separator is a
+    T-path (the structural half of "cycle separator": its endpoints can be
+    joined by a real or embedding-compatible virtual edge — the algorithm
+    certifies that constructively, see :mod:`repro.core.augment`).
+    """
+    report = separator_report(graph, separator)
+    if not report.balanced:
+        raise VerificationError(
+            f"unbalanced separator: components {report.components} of n={report.n}"
+        )
+    if tree is not None:
+        for a, b in zip(separator, separator[1:]):
+            if tree.parent.get(a) != b and tree.parent.get(b) != a:
+                raise VerificationError(f"separator is not a T-path at {a!r}-{b!r}")
+    return report
+
+
+def check_dfs_tree(graph: nx.Graph, parent: Dict[Node, Optional[Node]], root: Node) -> RootedTree:
+    """Assert that ``parent`` encodes a DFS tree of ``graph`` rooted at ``root``.
+
+    Uses the classical characterization: a rooted spanning tree ``T`` of a
+    graph ``G`` is a DFS tree iff every non-tree edge of ``G`` joins an
+    ancestor-descendant pair in ``T``.  Returns the verified tree.
+    """
+    if set(parent) != set(graph.nodes):
+        missing = set(graph.nodes) - set(parent)
+        raise VerificationError(f"not spanning; missing {sorted(map(repr, missing))[:5]}")
+    tree = RootedTree(parent, root)
+    for p, c in tree.edges():
+        if not graph.has_edge(p, c):
+            raise VerificationError(f"tree edge {p!r}-{c!r} is not a graph edge")
+    for a, b in graph.edges():
+        if not (tree.is_ancestor(a, b) or tree.is_ancestor(b, a)):
+            raise VerificationError(
+                f"cross edge {a!r}-{b!r}: endpoints are unrelated in the tree, "
+                "so this is not a DFS tree"
+            )
+    return tree
+
+
+def check_partial_dfs(
+    graph: nx.Graph,
+    parent: Dict[Node, Optional[Node]],
+    root: Node,
+) -> RootedTree:
+    """Assert the partial-DFS-tree invariant (paper Section 3.2).
+
+    ``parent`` covers a subset of the nodes; the invariant is that every
+    graph edge with *both* endpoints already in the partial tree joins an
+    ancestor-descendant pair — the property the DFS-RULE preserves and the
+    reason the final tree is a DFS tree.  Returns the verified partial
+    tree.
+    """
+    joined = set(parent)
+    tree = RootedTree(dict(parent), root)
+    for p, c in tree.edges():
+        if not graph.has_edge(p, c):
+            raise VerificationError(f"tree edge {p!r}-{c!r} is not a graph edge")
+    for a, b in graph.edges():
+        if a in joined and b in joined:
+            if not (tree.is_ancestor(a, b) or tree.is_ancestor(b, a)):
+                raise VerificationError(
+                    f"partial-DFS invariant violated at {a!r}-{b!r}"
+                )
+    return tree

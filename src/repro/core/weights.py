@@ -1,0 +1,206 @@
+"""Deterministic face weights — the paper's Definition 2, made exact.
+
+This module is the paper's central technical device: a *deterministic
+formula* for the number of nodes a fundamental face encloses, computable by
+the edge endpoints from DFS-order positions, subtree sizes, depths and the
+locally-visible rotation (Lemma 12).  Three families of quantities live
+here:
+
+* :func:`weight` — Definition 2 for real fundamental faces.  Calibrated so
+  that Lemmas 3 and 4 hold *exactly* (experiment E7):
+
+  - ``u`` not an ancestor of ``v``:  the weight equals
+    :math:`|\\tilde{F}_e| = |\\mathring{F}_e| + |path(w..v)|`;
+  - ``u`` an ancestor of ``v``:  the weight equals
+    :math:`|\\mathring{F}_e|`.
+
+* :func:`augmented_weight` — the weights of the *full augmentation from
+  u* (Section 3.1.3): the virtual faces :math:`F^\\ell_{uz}` for nodes
+  ``z`` inside :math:`F_e`, used by Phase 4 of the separator algorithm.
+
+* :func:`side_sets` — the outside partition :math:`F^e_\\ell, F^e_r` of
+  Lemma 8, used by Phase 5.
+
+Normalization notes (recorded as paper errata in DESIGN.md): positions are
+1-based preorders; :math:`n_T(v)` includes ``v``; consequently the interval
+of :math:`T_u` is :math:`[\\pi(u), \\pi(u)+n_T(u)-1]` and the case-1 constant
+is ``+2`` where the paper prints ``+1``.  The paper's clockwise convention is
+mirrored relative to this library's rotation systems, which swaps the
+inequality in Definition 1 (``E``-left vs ``E``-right); everything here is
+self-consistent and verified against the region oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Literal, Set, Tuple
+
+from .config import PlanarConfiguration
+from .faces import FaceView
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+Orientation = Literal["left", "right", "none"]
+
+__all__ = [
+    "orientation",
+    "weight",
+    "face_order",
+    "augmented_weight",
+    "side_sets",
+    "interior_by_orders",
+]
+
+
+def orientation(cfg: PlanarConfiguration, e: Edge) -> Orientation:
+    """Definition 1 orientation of a fundamental edge ``e = uv``.
+
+    Returns ``"none"`` when neither endpoint is an ancestor of the other;
+    otherwise ``"left"``/``"right"``.  In this library's rotation convention
+    the edge is left-oriented when ``t_u(v) > t_u(z)`` for the first path
+    node ``z`` (mirrored from the paper's statement; see module docstring).
+    """
+    u, v = cfg.orient(e)
+    if not cfg.tree.is_ancestor(u, v):
+        return "none"
+    z = cfg.tree.first_step(u, v)
+    return "left" if cfg.t_position(u, v) > cfg.t_position(u, z) else "right"
+
+
+def face_order(cfg: PlanarConfiguration, e: Edge) -> Dict[Node, int]:
+    """The DFS order a face's weights sweep by: :math:`\\pi_r` for
+    right-oriented edges, :math:`\\pi_\\ell` otherwise (paper Sub-phase 4.1)."""
+    return cfg.pi_right if orientation(cfg, e) == "right" else cfg.pi_left
+
+
+def weight(cfg: PlanarConfiguration, fv: FaceView) -> int:
+    """Definition 2: the weight :math:`\\omega(F_e)` of a real fundamental
+    face, computed from order positions, depths, subtree sizes and the
+    locally-derived :math:`p`-values — never from the interior itself."""
+    u, v = fv.u, fv.v
+    tree = cfg.tree
+    p_u, p_v = fv.p_value(u), fv.p_value(v)
+    if not tree.is_ancestor(u, v):
+        return (
+            p_v
+            + p_u
+            + cfg.pi_left[v]
+            - (cfg.pi_left[u] + tree.subtree_size[u])
+            + 2
+        )
+    z = tree.first_step(u, v)
+    pi = face_order(cfg, (u, v))
+    return p_v + p_u + (pi[v] - pi[z]) - (tree.depth[v] - tree.depth[z])
+
+
+def augmented_weight(
+    cfg: PlanarConfiguration,
+    fv: FaceView,
+    z: Node,
+    p_u: int | None = None,
+) -> int:
+    """Weight :math:`\\omega(F^\\ell_{uz})` of the full augmentation from
+    ``u`` to a node ``z`` inside :math:`F_e` (Section 3.1.3 / Phase 4).
+
+    The virtual edge ``uz`` is never physically inserted by the algorithm —
+    only this weight is needed.  For a :math:`(T, F_e)`-compatible ``z`` the
+    value equals the exact node count of the insertable face (calibrated
+    against physical insertion + the region oracle); for hidden ``z`` it is
+    the paper's notational extension, used only as a search value.
+    """
+    u = fv.u
+    tree = cfg.tree
+    if p_u is None:
+        p_u = fv.p_value(u)
+    size_z = tree.subtree_size[z]
+    if tree.is_strict_ancestor(u, z):
+        z1 = tree.first_step(u, z)
+        pi = face_order(cfg, fv.edge)
+        return (size_z - 1) + (pi[z] - pi[z1]) - (tree.depth[z] - tree.depth[z1])
+    return (
+        p_u
+        + (size_z - 1)
+        + cfg.pi_left[z]
+        - (cfg.pi_left[u] + tree.subtree_size[u])
+        + 2
+    )
+
+
+def side_sets(
+    cfg: PlanarConfiguration,
+    fv: FaceView,
+    interior: Set[Node] | None = None,
+) -> Tuple[Set[Node], Set[Node]]:
+    """The outside split :math:`(F^e_\\ell, F^e_r)` of Lemma 8 (Phase 5).
+
+    :math:`F^e_\\ell` holds the outside nodes with left position below
+    :math:`\\pi_\\ell(u)` plus the outside part of :math:`T_u`;
+    :math:`F^e_r` the outside nodes with left position above
+    :math:`\\pi_\\ell(v)`.  The paper computes the two sizes locally at the
+    endpoints; this implementation materializes the sets (same values,
+    recorded as a deviation in DESIGN.md) because Phase 5's virtual-face
+    reduction also needs the membership.
+    """
+    u, v = fv.u, fv.v
+    if interior is None:
+        interior = fv.interior()
+    face_nodes = interior | set(fv.border)
+    pi = cfg.pi_left
+    left: Set[Node] = set()
+    right: Set[Node] = set()
+    u_lo, u_hi = cfg.left_range(u)
+    for x in cfg.graph.nodes:
+        if x in face_nodes:
+            continue
+        if pi[x] < pi[u] or u_lo <= pi[x] <= u_hi:
+            left.add(x)
+        elif pi[x] > pi[v]:
+            right.add(x)
+        else:
+            # Outside nodes between the endpoints in left order: hanging off
+            # the border on the outside.  Lemma 8 folds them into the left
+            # set (they are separated from F_r by the border path as well).
+            left.add(x)
+    return left, right
+
+
+def interior_by_orders(cfg: PlanarConfiguration, fv: FaceView) -> Set[Node]:
+    """Remark 1 membership: reconstruct :math:`\\mathring{F}_e` from order
+    positions plus endpoint-local child classification only.
+
+    This is what DETECT-FACE-PROBLEM (Lemma 15) computes distributively:
+    the interval test handles nodes outside :math:`T_u \\cup T_v`, the
+    endpoints broadcast the position ranges of their inside children.  Used
+    by experiment E7 to confirm the characterization against the first-
+    principles interior.
+    """
+    u, v = fv.u, fv.v
+    tree = cfg.tree
+    border = set(fv.border)
+    inside: Set[Node] = set()
+    for x in (u, v):
+        for c in fv.children_inside(x):
+            lo, hi = cfg.left_range(c)
+            inside.update(
+                y for y in tree.subtree_nodes(c) if lo <= cfg.pi_left[y] <= hi
+            )
+    if not tree.is_ancestor(u, v):
+        lo = cfg.pi_left[u] + tree.subtree_size[u]
+        hi = cfg.pi_left[v] - 1
+        u_lo, u_hi = cfg.left_range(u)
+        v_lo, v_hi = cfg.left_range(v)
+        for y in cfg.graph.nodes:
+            if y in border or u_lo <= cfg.pi_left[y] <= u_hi or v_lo <= cfg.pi_left[y] <= v_hi:
+                continue
+            if lo <= cfg.pi_left[y] <= hi:
+                inside.add(y)
+    else:
+        z = tree.first_step(u, v)
+        pi = face_order(cfg, (u, v))
+        lo, hi = pi[z], pi[v] - 1
+        v_lo, v_hi = cfg.left_range(v)
+        for y in tree.subtree_nodes(z):
+            if y in border or v_lo <= cfg.pi_left[y] <= v_hi:
+                continue
+            if lo <= pi[y] <= hi:
+                inside.add(y)
+    return inside

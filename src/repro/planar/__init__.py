@@ -1,0 +1,35 @@
+"""Planar-graph substrate: embeddings, generators, drawings, validation."""
+
+from .checks import (
+    NotConnectedError,
+    NotPlanarError,
+    require_connected,
+    require_planar,
+    require_planar_connected,
+)
+from .construct import embed, embed_subgraph
+from .drawing import (
+    OnBoundaryError,
+    point_in_polygon,
+    polygon_signed_area2,
+    straight_line_drawing,
+)
+from .rotation import EmbeddingError, RotationSystem
+from . import generators
+
+__all__ = [
+    "EmbeddingError",
+    "NotConnectedError",
+    "NotPlanarError",
+    "OnBoundaryError",
+    "RotationSystem",
+    "embed",
+    "embed_subgraph",
+    "generators",
+    "point_in_polygon",
+    "polygon_signed_area2",
+    "require_connected",
+    "require_planar",
+    "require_planar_connected",
+    "straight_line_drawing",
+]

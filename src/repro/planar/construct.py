@@ -1,0 +1,44 @@
+"""Building rotation systems for graphs (the paper's Proposition 1).
+
+In the paper, a planar combinatorial embedding is computed distributively in
+:math:`\\tilde{O}(D)` rounds (Ghaffari–Haeupler, PODC'16).  Here the
+embedding is computed centrally via left-right planarity; the CONGEST round
+cost is charged by the ledger (see :mod:`repro.congest.ledger`), as recorded
+in DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .checks import require_planar
+from .rotation import RotationSystem
+
+__all__ = ["embed", "embed_subgraph"]
+
+
+def embed(graph: nx.Graph) -> RotationSystem:
+    """Compute a rotation system for a planar graph.
+
+    Raises :class:`repro.planar.checks.NotPlanarError` on non-planar input.
+    """
+    require_planar(graph)
+    return RotationSystem.from_graph(graph)
+
+
+def embed_subgraph(rotation: RotationSystem, nodes) -> RotationSystem:
+    """Restrict a rotation system to an induced subgraph.
+
+    The paper uses this implicitly: each part :math:`P_i` of the partition
+    inherits "the induced combinatorial planar embedding given by
+    :math:`\\mathcal{E}` restricted to :math:`G[P_i]`" (DFS-ORDER-PROBLEM,
+    Section 5.2.1).  Restriction preserves the relative clockwise order of
+    the surviving neighbors, so the result is again a valid embedding.
+    """
+    keep = set(nodes)
+    order = {
+        v: [u for u in rotation.neighbors_cw(v) if u in keep]
+        for v in rotation.nodes
+        if v in keep
+    }
+    return RotationSystem(order)

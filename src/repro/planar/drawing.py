@@ -1,0 +1,96 @@
+"""Straight-line drawings and exact point-in-polygon tests.
+
+This is the geometric half of the ground-truth oracle (DESIGN.md §1): a
+rotation system is drawn with straight edges on an integer grid via
+Chrobak–Payne (networkx's ``combinatorial_embedding_to_pos``, which respects
+the given embedding).  A fundamental face's border is then a simple polygon,
+and "inside" is decided with exact integer arithmetic.
+
+Nothing in :mod:`repro.core`'s *algorithms* depends on this module — only
+tests and the lemma-exactness experiment (E7) do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import networkx as nx
+
+from .rotation import RotationSystem
+
+Node = Hashable
+Point = Tuple[int, int]
+
+__all__ = [
+    "straight_line_drawing",
+    "point_in_polygon",
+    "polygon_signed_area2",
+    "OnBoundaryError",
+]
+
+
+class OnBoundaryError(ValueError):
+    """A query point lies exactly on the polygon boundary."""
+
+
+def straight_line_drawing(rotation: RotationSystem) -> Dict[Node, Point]:
+    """Integer-grid straight-line drawing consistent with ``rotation``.
+
+    For fewer than 4 nodes networkx ignores the embedding; the trivial
+    positions it returns are still a valid straight-line drawing, which is
+    all the oracle needs.
+    """
+    embedding = rotation.to_networkx_embedding()
+    pos = nx.combinatorial_embedding_to_pos(embedding)
+    return {v: (int(x), int(y)) for v, (x, y) in pos.items()}
+
+
+def polygon_signed_area2(polygon: Sequence[Point]) -> int:
+    """Twice the signed area of a polygon (positive if counterclockwise)."""
+    total = 0
+    k = len(polygon)
+    for i in range(k):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % k]
+        total += x1 * y2 - x2 * y1
+    return total
+
+
+def _on_segment(p: Point, a: Point, b: Point) -> bool:
+    """Whether point ``p`` lies on the closed segment ``ab`` (exact)."""
+    (px, py), (ax, ay), (bx, by) = p, a, b
+    cross = (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+    if cross != 0:
+        return False
+    return min(ax, bx) <= px <= max(ax, bx) and min(ay, by) <= py <= max(ay, by)
+
+
+def point_in_polygon(point: Point, polygon: Sequence[Point]) -> bool:
+    """Exact even-odd point-in-polygon test with integer coordinates.
+
+    Raises :class:`OnBoundaryError` if the point lies on the boundary, which
+    in a valid straight-line drawing can only happen for polygon vertices —
+    callers exclude those up front, so hitting this signals a bug.
+    """
+    px, py = point
+    inside = False
+    k = len(polygon)
+    for i in range(k):
+        a = polygon[i]
+        b = polygon[(i + 1) % k]
+        if _on_segment(point, a, b):
+            raise OnBoundaryError(f"point {point} lies on polygon edge {a}-{b}")
+        (ax, ay), (bx, by) = a, b
+        # Does the upward-crossing ray from (px, py) cross segment ab?
+        if (ay > py) != (by > py):
+            # x-coordinate of the crossing, compared exactly:
+            # px < ax + (py - ay) * (bx - ax) / (by - ay)
+            lhs = (px - ax) * (by - ay)
+            rhs = (py - ay) * (bx - ax)
+            if by > ay:
+                crosses = lhs < rhs
+            else:
+                crosses = lhs > rhs
+            if crosses:
+                inside = not inside
+    return inside

@@ -1,0 +1,345 @@
+"""Planar workload generators.
+
+Every generator returns a connected planar :class:`networkx.Graph` with
+integer node labels ``0..n-1``.  These are the graph families used by the
+test suite and the experiment harness (DESIGN.md, Section 4):
+
+* mesh-like families with :math:`D = \\Theta(\\sqrt{n})` — grids,
+  triangulated grids, Delaunay triangulations;
+* low-diameter families — wheels, stacked (Apollonian) triangulations,
+  cylinders of constant height;
+* tree families exercising the paper's Phase 2 — paths, stars, brooms,
+  caterpillars, random trees;
+* sparse families exercising Phases 4/5 — outerplanar graphs, theta graphs,
+  random planar subgraphs of triangulations.
+
+All randomness flows through an explicit ``seed`` so instances are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "grid",
+    "triangulated_grid",
+    "cylinder",
+    "delaunay",
+    "random_planar",
+    "outerplanar",
+    "apollonian",
+    "wheel",
+    "theta_graph",
+    "path_graph",
+    "star_graph",
+    "broom",
+    "caterpillar",
+    "random_tree",
+    "binary_tree",
+    "ladder",
+    "nested_triangles",
+    "hexagonal",
+    "fan",
+    "double_wheel",
+    "series_parallel",
+    "FAMILIES",
+]
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 deterministically (sorted by repr)."""
+    mapping = {v: i for i, v in enumerate(sorted(graph.nodes(), key=repr))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """The ``rows x cols`` grid graph; diameter ``rows + cols - 2``."""
+    return _relabel(nx.grid_2d_graph(rows, cols))
+
+
+def triangulated_grid(rows: int, cols: int) -> nx.Graph:
+    """Grid with one diagonal per cell (an internally triangulated mesh)."""
+    graph = nx.grid_2d_graph(rows, cols)
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            graph.add_edge((r, c), (r + 1, c + 1))
+    return _relabel(graph)
+
+
+def cylinder(rows: int, cols: int) -> nx.Graph:
+    """Grid wrapped into a cylinder (each row becomes a cycle).
+
+    Planar, with diameter ``rows + cols // 2 - 1`` — much smaller than n for
+    short, wide cylinders, which makes the :math:`\\tilde{O}(D)` vs
+    :math:`O(n)` separation visible in the DFS benchmarks.
+    """
+    if cols < 3:
+        raise ValueError("cylinder needs cols >= 3")
+    graph = nx.grid_2d_graph(rows, cols)
+    for r in range(rows):
+        graph.add_edge((r, 0), (r, cols - 1))
+    return _relabel(graph)
+
+
+def delaunay(n: int, seed: int = 0) -> nx.Graph:
+    """Delaunay triangulation of ``n`` random points in the unit square."""
+    if n < 3:
+        return path_graph(max(n, 1))
+    from scipy.spatial import Delaunay  # local import: scipy is heavy
+
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    tri = Delaunay(points)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        graph.add_edges_from([(a, b), (b, c), (a, c)])
+    return graph
+
+
+def random_planar(n: int, density: float = 0.6, seed: int = 0) -> nx.Graph:
+    """Random connected planar graph.
+
+    Builds a Delaunay triangulation and deletes a random ``1 - density``
+    fraction of its edges while keeping the graph connected.  ``density=1``
+    returns the triangulation itself; small densities approach a spanning
+    tree.  Exercises sparse faces (paper Phases 4/5).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must lie in [0, 1]")
+    graph = delaunay(n, seed=seed)
+    rng = random.Random(seed + 0x9E3779B9)
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    to_remove = int((1.0 - density) * len(edges))
+    for u, v in edges:
+        if to_remove == 0:
+            break
+        graph.remove_edge(u, v)
+        if nx.has_path(graph, u, v):
+            to_remove -= 1
+        else:
+            graph.add_edge(u, v)
+    return graph
+
+
+def outerplanar(n: int, chords: int = 0, seed: int = 0) -> nx.Graph:
+    """Cycle on ``n`` nodes plus ``chords`` random non-crossing chords."""
+    if n < 3:
+        return path_graph(max(n, 1))
+    graph = nx.cycle_graph(n)
+    rng = random.Random(seed)
+    # Non-crossing chords via random recursive splitting of the interval.
+    intervals = [(0, n - 1)]
+    added = 0
+    attempts = 0
+    while added < chords and intervals and attempts < 50 * max(chords, 1):
+        attempts += 1
+        lo, hi = intervals.pop(rng.randrange(len(intervals)))
+        if hi - lo < 3:
+            continue
+        a = rng.randrange(lo, hi - 1)
+        b = rng.randrange(a + 2, hi + 1)
+        if (a, b) == (0, n - 1) or graph.has_edge(a, b):
+            intervals.append((lo, hi))
+            continue
+        graph.add_edge(a, b)
+        added += 1
+        intervals.extend([(lo, a), (a, b), (b, hi)])
+    return graph
+
+
+def apollonian(levels: int, seed: int = 0) -> nx.Graph:
+    """Stacked (Apollonian) triangulation: maximal planar, low diameter.
+
+    Starts from a triangle; each level inserts a node into ``2^level`` random
+    triangular faces, connecting it to the face's corners.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph([(0, 1), (1, 2), (0, 2)])
+    faces: List[Tuple[int, int, int]] = [(0, 1, 2)]
+    next_node = 3
+    for level in range(levels):
+        for _ in range(2**level):
+            a, b, c = faces.pop(rng.randrange(len(faces)))
+            d = next_node
+            next_node += 1
+            graph.add_edges_from([(d, a), (d, b), (d, c)])
+            faces.extend([(a, b, d), (b, c, d), (a, c, d)])
+    return graph
+
+
+def wheel(n: int) -> nx.Graph:
+    """Wheel graph: hub + cycle of ``n - 1`` nodes; diameter 2."""
+    return _relabel(nx.wheel_graph(n))
+
+
+def theta_graph(strands: int, length: int) -> nx.Graph:
+    """Two poles connected by ``strands`` internally disjoint paths."""
+    if strands < 2 or length < 1:
+        raise ValueError("need strands >= 2 and length >= 1")
+    graph = nx.Graph()
+    source, sink = 0, 1
+    next_node = 2
+    for _ in range(strands):
+        previous = source
+        for _ in range(length):
+            graph.add_edge(previous, next_node)
+            previous = next_node
+            next_node += 1
+        graph.add_edge(previous, sink)
+    return graph
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Path on ``n`` nodes (the extreme deep-tree case)."""
+    return nx.path_graph(n)
+
+
+def star_graph(n: int) -> nx.Graph:
+    """Star with ``n - 1`` leaves (the Phase-2 centroid edge case)."""
+    return nx.star_graph(n - 1)
+
+
+def broom(handle: int, bristles: int) -> nx.Graph:
+    """Path of ``handle`` nodes ending in a star of ``bristles`` leaves."""
+    graph = nx.path_graph(handle)
+    for i in range(bristles):
+        graph.add_edge(handle - 1, handle + i)
+    return graph
+
+
+def caterpillar(spine: int, legs_per_node: int = 2) -> nx.Graph:
+    """Spine path with ``legs_per_node`` leaves per spine node."""
+    graph = nx.path_graph(spine)
+    next_node = spine
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(v, next_node)
+            next_node += 1
+    return graph
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """Uniformly random labelled tree (Prüfer sequence)."""
+    if n <= 1:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        return graph
+    if n == 2:
+        return nx.path_graph(2)
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return nx.from_prufer_sequence(prufer)
+
+
+def binary_tree(height: int) -> nx.Graph:
+    """Complete binary tree of the given height."""
+    return _relabel(nx.balanced_tree(2, height))
+
+
+def ladder(n: int) -> nx.Graph:
+    """Ladder graph (two paths joined by rungs)."""
+    return _relabel(nx.ladder_graph(n))
+
+
+def nested_triangles(levels: int) -> nx.Graph:
+    """Concentric triangles joined corner-to-corner; diameter Θ(levels)."""
+    if levels < 1:
+        raise ValueError("need at least one level")
+    graph = nx.Graph()
+    for level in range(levels):
+        a, b, c = 3 * level, 3 * level + 1, 3 * level + 2
+        graph.add_edges_from([(a, b), (b, c), (a, c)])
+        if level > 0:
+            pa, pb, pc = 3 * (level - 1), 3 * (level - 1) + 1, 3 * (level - 1) + 2
+            graph.add_edges_from([(pa, a), (pb, b), (pc, c)])
+    return graph
+
+
+def hexagonal(rows: int, cols: int) -> nx.Graph:
+    """Hexagonal (honeycomb) lattice — degree-3 planar mesh."""
+    return _relabel(nx.hexagonal_lattice_graph(rows, cols))
+
+
+def fan(n: int) -> nx.Graph:
+    """Fan: a path of ``n - 1`` nodes all joined to one apex.
+
+    A maximal outerplanar graph; its BFS tree from the apex is the star
+    whose Phase-2-adjacent behaviour the erratum tests exercise.
+    """
+    if n < 3:
+        return path_graph(max(n, 1))
+    graph = nx.path_graph(n - 1)
+    apex = n - 1
+    graph.add_edges_from((apex, v) for v in range(n - 1))
+    return graph
+
+
+def double_wheel(n: int) -> nx.Graph:
+    """Two hubs joined to a common cycle (planar, diameter 3-ish)."""
+    if n < 5:
+        raise ValueError("double wheel needs n >= 5")
+    cycle_len = n - 2
+    graph = nx.cycle_graph(cycle_len)
+    hub_in, hub_out = cycle_len, cycle_len + 1
+    graph.add_edges_from((hub_in, v) for v in range(cycle_len))
+    graph.add_edges_from((hub_out, v) for v in range(cycle_len))
+    return graph
+
+
+def series_parallel(n: int, seed: int = 0) -> nx.Graph:
+    """Random two-terminal series-parallel graph on ~n nodes.
+
+    Grown by repeatedly replacing a random edge with a series split (new
+    node) or doubling it in parallel via a subdivided edge; always planar
+    with treewidth at most 2.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph([(0, 1)])
+    next_node = 2
+    while len(graph) < n:
+        edges = list(graph.edges())
+        a, b = edges[rng.randrange(len(edges))]
+        if rng.random() < 0.5:
+            # series: subdivide
+            graph.remove_edge(a, b)
+            graph.add_edges_from([(a, next_node), (next_node, b)])
+            next_node += 1
+        else:
+            # parallel: add a subdivided parallel branch
+            graph.add_edges_from([(a, next_node), (next_node, b)])
+            next_node += 1
+    return graph
+
+
+def FAMILIES(seed: int = 0) -> List[Tuple[str, nx.Graph]]:
+    """A representative instance per family (used by sweeping tests)."""
+    return [
+        ("grid", grid(6, 7)),
+        ("triangulated_grid", triangulated_grid(5, 6)),
+        ("cylinder", cylinder(4, 8)),
+        ("delaunay", delaunay(40, seed=seed)),
+        ("random_planar", random_planar(40, density=0.5, seed=seed)),
+        ("outerplanar", outerplanar(24, chords=8, seed=seed)),
+        ("apollonian", apollonian(4, seed=seed)),
+        ("wheel", wheel(16)),
+        ("theta", theta_graph(4, 5)),
+        ("path", path_graph(20)),
+        ("star", star_graph(14)),
+        ("broom", broom(10, 8)),
+        ("caterpillar", caterpillar(8, 2)),
+        ("random_tree", random_tree(30, seed=seed)),
+        ("binary_tree", binary_tree(4)),
+        ("ladder", ladder(10)),
+        ("nested_triangles", nested_triangles(5)),
+        ("hexagonal", hexagonal(3, 3)),
+        ("fan", fan(16)),
+        ("double_wheel", double_wheel(16)),
+        ("series_parallel", series_parallel(24, seed=seed)),
+    ]

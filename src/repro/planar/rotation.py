@@ -1,0 +1,291 @@
+"""Combinatorial planar embeddings as rotation systems.
+
+A *rotation system* assigns to every node ``v`` the cyclic clockwise order
+``t_v`` of its neighbors.  Together with the underlying graph this fully
+determines a planar (sphere) embedding and its faces.  The paper calls this a
+*planar combinatorial embedding* :math:`\\mathcal{E}` (Section 2).
+
+This module is the embedding substrate used by every higher layer: the
+configuration objects of :mod:`repro.core`, the face machinery, the geometric
+oracle, and the generators all speak :class:`RotationSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+import networkx as nx
+
+Node = Hashable
+HalfEdge = Tuple[Node, Node]
+
+__all__ = ["RotationSystem", "EmbeddingError"]
+
+
+class EmbeddingError(ValueError):
+    """Raised when a rotation system is structurally invalid."""
+
+
+class RotationSystem:
+    """A combinatorial planar embedding (clockwise rotation system).
+
+    Parameters
+    ----------
+    order:
+        Mapping from each node to the sequence of its neighbors in clockwise
+        order.  Every adjacency must appear in both directions.
+
+    Notes
+    -----
+    The class is *mutable only through* :meth:`insert_edge` (used when the
+    algorithm adds a virtual fundamental edge to the embedding, Section 3.1.3
+    of the paper); all read access treats the rotation lists as immutable.
+    """
+
+    __slots__ = ("_order", "_pos")
+
+    def __init__(self, order: Dict[Node, Sequence[Node]]):
+        self._order: Dict[Node, List[Node]] = {v: list(nbrs) for v, nbrs in order.items()}
+        self._pos: Dict[Node, Dict[Node, int]] = {}
+        self._rebuild_positions()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "RotationSystem":
+        """Compute a rotation system for a planar graph.
+
+        Uses the left-right planarity algorithm (via networkx).  Raises
+        :class:`EmbeddingError` if ``graph`` is not planar.
+        """
+        is_planar, embedding = nx.check_planarity(graph)
+        if not is_planar:
+            raise EmbeddingError("graph is not planar")
+        return cls.from_networkx_embedding(embedding)
+
+    @classmethod
+    def from_networkx_embedding(cls, embedding: nx.PlanarEmbedding) -> "RotationSystem":
+        """Wrap a networkx :class:`~networkx.PlanarEmbedding`."""
+        order = {
+            v: list(embedding.neighbors_cw_order(v)) for v in embedding.nodes()
+        }
+        return cls(order)
+
+    def copy(self) -> "RotationSystem":
+        """Return an independent copy of this rotation system."""
+        return RotationSystem(self._order)
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """All embedded nodes."""
+        return self._order.keys()
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def degree(self, v: Node) -> int:
+        """Number of neighbors of ``v``."""
+        return len(self._order[v])
+
+    def neighbors_cw(self, v: Node) -> Tuple[Node, ...]:
+        """Neighbors of ``v`` in clockwise order (the paper's ``t_v``)."""
+        return tuple(self._order[v])
+
+    def position(self, v: Node, u: Node) -> int:
+        """Index of neighbor ``u`` in ``t_v`` (0-based clockwise position)."""
+        try:
+            return self._pos[v][u]
+        except KeyError:
+            raise EmbeddingError(f"{u!r} is not a neighbor of {v!r}") from None
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether ``uv`` is an embedded edge."""
+        return v in self._pos.get(u, ())
+
+    def successor_cw(self, v: Node, u: Node, *, steps: int = 1) -> Node:
+        """Neighbor ``steps`` positions clockwise after ``u`` around ``v``."""
+        nbrs = self._order[v]
+        return nbrs[(self.position(v, u) + steps) % len(nbrs)]
+
+    def predecessor_cw(self, v: Node, u: Node) -> Node:
+        """Neighbor immediately counterclockwise of ``u`` around ``v``."""
+        return self.successor_cw(v, u, steps=-1)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Each undirected edge once."""
+        seen = set()
+        for v, nbrs in self._order.items():
+            for u in nbrs:
+                key = (u, v) if (u, v) in seen or (v, u) in seen else None
+                if key is None:
+                    seen.add((v, u))
+                    yield (v, u)
+
+    def half_edges(self) -> Iterator[HalfEdge]:
+        """Every directed half-edge of the embedding."""
+        for v, nbrs in self._order.items():
+            for u in nbrs:
+                yield (v, u)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._order.values()) // 2
+
+    # ------------------------------------------------------------------
+    # faces
+    # ------------------------------------------------------------------
+    def next_face_half_edge(self, v: Node, w: Node) -> HalfEdge:
+        """Half-edge following ``(v, w)`` on its face.
+
+        With clockwise rotations, the face *to the left* of the directed edge
+        ``v -> w`` continues with ``(w, x)`` where ``x`` is the clockwise
+        successor of ``v`` around ``w``.  This matches networkx's convention,
+        so faces computed here agree with drawings produced from the same
+        rotation system.
+        """
+        return (w, self.successor_cw(w, v))
+
+    def traverse_face(self, v: Node, w: Node) -> List[Node]:
+        """Nodes of the face that the half-edge ``(v, w)`` borders."""
+        face = [v]
+        a, b = self.next_face_half_edge(v, w)
+        guard = 4 * self.num_edges() + 4
+        while (a, b) != (v, w):
+            face.append(a)
+            a, b = self.next_face_half_edge(a, b)
+            guard -= 1
+            if guard < 0:  # pragma: no cover - structural corruption
+                raise EmbeddingError("face traversal did not terminate")
+        return face
+
+    def faces(self) -> List[List[Node]]:
+        """All faces, each as its cyclic node walk (with repeats on bridges)."""
+        remaining = set(self.half_edges())
+        result: List[List[Node]] = []
+        while remaining:
+            v, w = next(iter(remaining))
+            walk: List[Node] = []
+            a, b = v, w
+            while (a, b) in remaining:
+                remaining.discard((a, b))
+                walk.append(a)
+                a, b = self.next_face_half_edge(a, b)
+            result.append(walk)
+        return result
+
+    def num_faces(self) -> int:
+        """Number of faces of the (sphere) embedding."""
+        return len(self.faces())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert_edge(
+        self,
+        u: Node,
+        v: Node,
+        *,
+        after_u: Node | None,
+        after_v: Node | None,
+    ) -> None:
+        """Insert edge ``uv`` into the embedding.
+
+        ``after_u`` positions ``v`` immediately clockwise-after that neighbor
+        in ``t_u`` (``None`` prepends, i.e. position 0); symmetrically for
+        ``after_v``.  The caller is responsible for choosing positions that
+        keep the embedding planar — this is exactly the freedom the paper's
+        :math:`\\mathcal{E}`-compatible insertions exercise (Section 2).
+        """
+        if self.has_edge(u, v):
+            raise EmbeddingError(f"edge {u!r}-{v!r} already embedded")
+        if u == v:
+            raise EmbeddingError("self-loops are not supported")
+        self._insert_half_edge(u, v, after_u)
+        self._insert_half_edge(v, u, after_v)
+        self._rebuild_positions()
+
+    def add_isolated_node(self, v: Node) -> None:
+        """Add a node with no incident edges."""
+        if v in self._order:
+            raise EmbeddingError(f"node {v!r} already present")
+        self._order[v] = []
+        self._pos[v] = {}
+
+    def _insert_half_edge(self, v: Node, new: Node, after: Node | None) -> None:
+        nbrs = self._order.setdefault(v, [])
+        if after is None:
+            nbrs.insert(0, new)
+        else:
+            idx = self.position(v, after)
+            nbrs.insert(idx + 1, new)
+
+    # ------------------------------------------------------------------
+    # validation / export
+    # ------------------------------------------------------------------
+    def _rebuild_positions(self) -> None:
+        self._pos = {
+            v: {u: i for i, u in enumerate(nbrs)} for v, nbrs in self._order.items()
+        }
+        for v, nbrs in self._order.items():
+            if len(self._pos[v]) != len(nbrs):
+                raise EmbeddingError(f"duplicate neighbor in rotation of {v!r}")
+
+    def validate(self) -> None:
+        """Check structural validity and planarity (Euler's formula).
+
+        Raises :class:`EmbeddingError` on the first violation found.
+        """
+        for v, nbrs in self._order.items():
+            for u in nbrs:
+                if u not in self._order or v not in self._pos[u]:
+                    raise EmbeddingError(
+                        f"half-edge {v!r}->{u!r} lacks its reverse"
+                    )
+                if u == v:
+                    raise EmbeddingError(f"self-loop at {v!r}")
+        graph = self.to_graph()
+        if len(graph) == 0:
+            return
+        components = nx.number_connected_components(graph)
+        n, m, f = len(graph), graph.number_of_edges(), self.num_faces()
+        # Euler's formula for a sphere embedding with c components:
+        # n - m + f = 1 + c
+        if n - m + f != 1 + components:
+            raise EmbeddingError(
+                "rotation system is not planar: Euler check failed "
+                f"(n={n}, m={m}, f={f}, components={components})"
+            )
+
+    def to_graph(self) -> nx.Graph:
+        """Underlying undirected graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._order)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def to_networkx_embedding(self) -> nx.PlanarEmbedding:
+        """Export as a networkx :class:`~networkx.PlanarEmbedding`."""
+        embedding = nx.PlanarEmbedding()
+        for v, nbrs in self._order.items():
+            embedding.add_node(v)
+            previous = None
+            for u in nbrs:
+                if previous is None:
+                    embedding.add_half_edge(v, u)
+                else:
+                    # networkx's ``cw=ref`` places the new edge so that ref
+                    # follows it clockwise; preserving our clockwise list
+                    # order therefore needs ``ccw=ref``.
+                    embedding.add_half_edge(v, u, ccw=previous)
+                previous = u
+        return embedding
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RotationSystem(n={len(self)}, m={self.num_edges()})"

@@ -1,0 +1,28 @@
+"""Low-congestion shortcut substrate and part-wise aggregation library."""
+
+from .partwise import (
+    ancestor_problem,
+    ancestor_sums,
+    descendant_sums,
+    max_problem,
+    min_problem,
+    partwise_aggregate,
+    range_problem,
+    sum_subset_problem,
+    sum_tree_problem,
+)
+from .shortcuts import ShortcutStructure, build_shortcuts
+
+__all__ = [
+    "ShortcutStructure",
+    "ancestor_problem",
+    "ancestor_sums",
+    "build_shortcuts",
+    "descendant_sums",
+    "max_problem",
+    "min_problem",
+    "partwise_aggregate",
+    "range_problem",
+    "sum_subset_problem",
+    "sum_tree_problem",
+]

@@ -1,0 +1,144 @@
+"""Part-wise aggregation primitives (Definition 6, Propositions 4/5, Lemma 10).
+
+The reference implementations of the aggregation problems the separator and
+DFS algorithms are composed of.  Results are computed exactly (these are
+deterministic folds over parts or trees); round costs are charged to the
+ledger at the shortcut-derived rate, which is the execution model described
+in DESIGN.md §1.  The test suite cross-validates the tree aggregations
+against the message-level convergecast of :mod:`repro.congest.algorithms`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..trees.rooted import RootedTree
+
+Node = Hashable
+T = TypeVar("T")
+
+__all__ = [
+    "partwise_aggregate",
+    "min_problem",
+    "max_problem",
+    "sum_subset_problem",
+    "sum_tree_problem",
+    "range_problem",
+    "ancestor_sums",
+    "descendant_sums",
+    "ancestor_problem",
+]
+
+
+def _charge(ledger, times: int = 1) -> None:
+    if ledger is not None:
+        ledger.charge_subroutine("partwise-aggregation", times)
+
+
+def partwise_aggregate(
+    parts: Sequence[Iterable[Node]],
+    values: Dict[Node, T],
+    combine: Callable[[T, T], T],
+    ledger=None,
+) -> List[T]:
+    """One part-wise aggregation: every part folds its values (Prop. 4)."""
+    _charge(ledger)
+    out: List[T] = []
+    for part in parts:
+        it = iter(part)
+        acc = values[next(it)]
+        for v in it:
+            acc = combine(acc, values[v])
+        out.append(acc)
+    return out
+
+
+def min_problem(parts, values, ledger=None) -> List[Node]:
+    """MIN-PROBLEM: the ID of an argmin node per part (Lemma 10.1).
+
+    Two aggregations as in the paper's proof: learn the minimum, then the
+    smallest ID attaining it.
+    """
+    _charge(ledger, 2)
+    out = []
+    for part in parts:
+        out.append(min(part, key=lambda v: (values[v], repr(v))))
+    return out
+
+
+def max_problem(parts, values, ledger=None) -> List[Node]:
+    """MAX-PROBLEM: the ID of an argmax node per part (Lemma 10.1)."""
+    _charge(ledger, 2)
+    out = []
+    for part in parts:
+        out.append(max(part, key=lambda v: (values[v], repr(v))))
+    return out
+
+
+def sum_subset_problem(parts, ledger=None) -> List[int]:
+    """SUM-SUBSET-PROBLEM: every node learns its part size (Lemma 10.2)."""
+    _charge(ledger)
+    return [len(list(part)) for part in parts]
+
+
+def sum_tree_problem(tree: RootedTree, ledger=None) -> Dict[Node, int]:
+    """SUM-TREE-PROBLEM: every node learns its subtree size (Lemma 10.3)."""
+    _charge(ledger)
+    return dict(tree.subtree_size)
+
+
+def range_problem(parts, values, lo, hi, ledger=None) -> List[Optional[Node]]:
+    """RANGE-PROBLEM: per part, some node whose value lies in ``[lo, hi]``
+    (Lemma 10.4); ``None`` when the part has no such node."""
+    _charge(ledger, 2)
+    out: List[Optional[Node]] = []
+    for part in parts:
+        hit = [v for v in part if lo <= values[v] <= hi]
+        out.append(min(hit, key=repr) if hit else None)
+    return out
+
+
+def ancestor_sums(
+    tree: RootedTree,
+    values: Dict[Node, T],
+    combine: Callable[[T, T], T],
+    ledger=None,
+) -> Dict[Node, T]:
+    """ANCESTOR-SUM-PROBLEM: fold each node's root path (Prop. 5, A1).
+
+    Computed with an iterative top-down pass (root first), exactly the
+    downcast the paper pipelines over shortcuts.
+    """
+    _charge(ledger)
+    out: Dict[Node, T] = {tree.root: values[tree.root]}
+    for v in tree.iter_preorder():
+        if v == tree.root:
+            continue
+        out[v] = combine(out[tree.parent[v]], values[v])
+    return out
+
+
+def descendant_sums(
+    tree: RootedTree,
+    values: Dict[Node, T],
+    combine: Callable[[T, T], T],
+    ledger=None,
+) -> Dict[Node, T]:
+    """DESCENDANT-SUM-PROBLEM: fold each node's subtree (Prop. 5, A2)."""
+    _charge(ledger)
+    out: Dict[Node, T] = {}
+    order = list(tree.iter_preorder())
+    for v in reversed(order):
+        acc = values[v]
+        for c in tree.children[v]:
+            acc = combine(acc, out[c])
+        out[v] = acc
+    return out
+
+
+def ancestor_problem(tree: RootedTree, v0: Node, ledger=None) -> Dict[Node, bool]:
+    """ANCESTOR-PROBLEM: every node learns whether ``v0`` is its ancestor
+    (Lemma 10.5), via a 0/1 ancestor sum as in the paper's proof."""
+    indicator = {v: 1 if v == v0 else 0 for v in tree.nodes}
+    sums = ancestor_sums(tree, indicator, lambda a, b: a + b, ledger=ledger)
+    return {v: sums[v] >= 1 for v in tree.nodes}

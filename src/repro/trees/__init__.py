@@ -1,0 +1,24 @@
+"""Tree substrate: rooted trees, spanning-tree construction, centroids."""
+
+from .centroid import centroid, phase2_separator_node, subtree_in_range
+from .rooted import RootedTree, TreeError
+from .spanning import (
+    BoruvkaResult,
+    bfs_tree,
+    boruvka_part_spanning_trees,
+    dfs_spanning_tree,
+    random_spanning_tree,
+)
+
+__all__ = [
+    "BoruvkaResult",
+    "RootedTree",
+    "TreeError",
+    "bfs_tree",
+    "boruvka_part_spanning_trees",
+    "centroid",
+    "dfs_spanning_tree",
+    "phase2_separator_node",
+    "random_spanning_tree",
+    "subtree_in_range",
+]

@@ -1,0 +1,68 @@
+"""Centroids and the tree case of the separator algorithm (paper Phase 2).
+
+The paper's Phase 2 claims that every tree has a node ``v0`` with subtree
+size in :math:`[n/3, 2n/3]` and uses the root-to-``v0`` path as the
+separator.  The claim is false for stars (see DESIGN.md, "Paper errata"), so
+this module provides both the paper's RANGE search and the classical centroid
+fallback; :func:`phase2_separator_node` combines them and reports which rule
+fired, which experiment E4 tabulates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from .rooted import RootedTree
+
+Node = Hashable
+
+__all__ = ["subtree_in_range", "centroid", "phase2_separator_node"]
+
+
+def subtree_in_range(tree: RootedTree, lo3: int, hi3: int) -> Optional[Node]:
+    """A node whose subtree size ``s`` satisfies ``lo3 <= 3*s <= hi3``.
+
+    The bounds are passed pre-multiplied by 3 so that the `[n/3, 2n/3]`
+    comparison stays exact in integers.  Returns ``None`` if no such node
+    exists (deterministic tie-break: smallest preorder position — the
+    distributed RANGE-PROBLEM of Lemma 10 would return an arbitrary one).
+    """
+    for v in tree.iter_preorder():
+        if lo3 <= 3 * tree.subtree_size[v] <= hi3:
+            return v
+    return None
+
+
+def centroid(tree: RootedTree) -> Node:
+    """Classical centroid: removing it leaves components of size <= n/2.
+
+    Found iteratively by descending from the root towards the largest
+    subtree while that subtree has more than ``n/2`` nodes.
+    """
+    n = len(tree)
+    v = tree.root
+    while True:
+        heavy = None
+        for c in tree.children[v]:
+            if 2 * tree.subtree_size[c] > n:
+                heavy = c
+                break
+        if heavy is None:
+            return v
+        v = heavy
+
+
+def phase2_separator_node(tree: RootedTree) -> Tuple[Node, str]:
+    """The node ``v0`` whose root-path Phase 2 marks, plus the rule used.
+
+    Tries the paper's RANGE search (subtree size in :math:`[n/3, 2n/3]`)
+    first; falls back to the classical centroid, whose root-path is always a
+    valid separator: every hanging component is a subtree of either a
+    centroid child (size <= n/2) or of the centroid's "upward" complement
+    (size <= n/2).
+    """
+    n = len(tree)
+    v0 = subtree_in_range(tree, n, 2 * n)
+    if v0 is not None:
+        return v0, "paper-range"
+    return centroid(tree), "centroid-fallback"

@@ -1,0 +1,80 @@
+"""Tests for the baseline algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    centralized_dfs,
+    lipton_tarjan_separator,
+    randomized_separator,
+)
+from repro.core.verify import check_dfs_tree, separator_report
+from repro.planar import generators as gen
+
+
+class TestLiptonTarjan:
+    def test_balanced_on_families(self):
+        for name, g in gen.FAMILIES(3):
+            sep = lipton_tarjan_separator(g)
+            report = separator_report(g, sep)
+            assert report.balanced, name
+
+    def test_small_graphs(self):
+        g = nx.path_graph(2)
+        assert set(lipton_tarjan_separator(g)) == {0, 1}
+
+    def test_rejects_nonplanar(self):
+        with pytest.raises(Exception):
+            lipton_tarjan_separator(nx.complete_graph(5))
+
+    def test_separator_small_on_triangulations(self):
+        g = gen.delaunay(200, seed=2)
+        sep = lipton_tarjan_separator(g)
+        # Fundamental cycles of a BFS tree: <= 2 * radius + 1 nodes.
+        radius = nx.eccentricity(g, min(g.nodes, key=repr))
+        assert len(sep) <= 2 * radius + 1
+
+
+class TestRandomizedSeparator:
+    def test_large_sample_budget_succeeds(self):
+        g = gen.delaunay(60, seed=4)
+        out = randomized_separator(g, samples=600, seed=1)
+        assert out.separator is not None
+        report = separator_report(g, out.separator)
+        assert report.balanced
+
+    def test_small_sample_budget_can_fail(self):
+        failures = 0
+        for seed in range(30):
+            g = gen.delaunay(60, seed=3)
+            out = randomized_separator(g, samples=2, seed=seed)
+            if out.separator is None:
+                failures += 1
+            else:
+                if not separator_report(g, out.separator).balanced:
+                    failures += 1
+        assert failures > 0  # why the paper wanted determinism
+
+    def test_estimate_tracks_truth_with_budget(self):
+        g = gen.delaunay(80, seed=5)
+        errs = {}
+        for samples in (4, 400):
+            total, count = 0.0, 0
+            for seed in range(10):
+                out = randomized_separator(g, samples=samples, seed=seed)
+                if out.separator is not None:
+                    total += abs(out.estimated_weight - out.true_weight)
+                    count += 1
+            errs[samples] = total / max(count, 1)
+        assert errs[400] <= errs[4] + 1e-9
+
+
+class TestCentralizedDFS:
+    def test_valid_dfs_trees(self):
+        for name, g in gen.FAMILIES(2):
+            parent = centralized_dfs(g, 0)
+            check_dfs_tree(g, parent, 0)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            centralized_dfs(nx.Graph([(0, 1), (2, 3)]), 0)

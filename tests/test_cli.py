@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInProcess:
+    def test_separator_command(self, capsys):
+        code = main(["separator", "--family", "grid", "--n", "49"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "separator:" in out and "max component fraction" in out
+
+    def test_dfs_command(self, capsys):
+        code = main(["dfs", "--family", "delaunay", "--n", "60", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DFS tree verified" in out
+
+    def test_dfs_with_awerbuch(self, capsys):
+        code = main(["dfs", "--family", "grid", "--n", "36", "--awerbuch"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Awerbuch baseline" in out
+
+    def test_hierarchy_command(self, capsys):
+        code = main(["hierarchy", "--family", "delaunay", "--n", "70"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hierarchy depth" in out
+
+    def test_experiment_command(self, capsys):
+        code = main(["experiment", "e6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "congestion" in out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["separator", "--family", "hypercube"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+    def test_tree_flavor(self, capsys):
+        code = main(["separator", "--family", "grid", "--n", "49", "--tree", "dfs"])
+        assert code == 0
+
+
+class TestSubprocess:
+    def test_module_entrypoint(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "separator", "--family", "tree", "--n", "40"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr[-1000:]
+        assert "phase2" in proc.stdout
+
+    def test_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "separator" in proc.stdout and "experiment" in proc.stdout

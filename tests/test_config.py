@@ -1,0 +1,136 @@
+"""Unit tests for planar configurations and DFS orders."""
+
+import networkx as nx
+import pytest
+
+from repro.core.config import ConfigurationError, PlanarConfiguration
+from repro.planar import embed, embed_subgraph
+from repro.planar import generators as gen
+from repro.trees import bfs_tree, dfs_spanning_tree
+
+from conftest import configs_for, make_config
+
+
+class TestNormalization:
+    def test_parent_first(self):
+        for kind, cfg in configs_for(gen.grid(4, 5)):
+            for v in cfg.graph.nodes:
+                parent = cfg.tree.parent[v]
+                if parent is not None:
+                    assert cfg.t(v)[0] == parent, (kind, v)
+
+    def test_rotation_is_same_cyclic_order(self):
+        g = gen.delaunay(25, seed=1)
+        rot = embed(g)
+        cfg = PlanarConfiguration.build(g, root=0, rotation=rot, tree=bfs_tree(g, 0))
+        for v in g.nodes:
+            original = rot.neighbors_cw(v)
+            normalized = cfg.t(v)
+            i = original.index(normalized[0])
+            assert original[i:] + original[:i] == normalized
+
+    def test_root_anchor_respected(self):
+        g = gen.grid(3, 4)
+        rot = embed(g)
+        anchor = rot.neighbors_cw(0)[-1]
+        cfg = PlanarConfiguration(g, rot, bfs_tree(g, 0), root_anchor=anchor)
+        assert cfg.t(0)[0] == anchor
+
+
+class TestOrders:
+    def test_orders_are_permutations(self):
+        for kind, cfg in configs_for(gen.triangulated_grid(4, 4)):
+            n = cfg.n
+            assert sorted(cfg.pi_left.values()) == list(range(1, n + 1))
+            assert sorted(cfg.pi_right.values()) == list(range(1, n + 1))
+            assert cfg.pi_left[cfg.tree.root] == 1
+            assert cfg.pi_right[cfg.tree.root] == 1
+
+    def test_orders_are_preorders(self):
+        for kind, cfg in configs_for(gen.delaunay(30, seed=2)):
+            for pi in (cfg.pi_left, cfg.pi_right):
+                for v in cfg.graph.nodes:
+                    p = cfg.tree.parent[v]
+                    if p is not None:
+                        assert pi[p] < pi[v]
+
+    def test_subtree_ranges_are_contiguous(self):
+        for kind, cfg in configs_for(gen.grid(5, 5), seed=3):
+            for v in cfg.graph.nodes:
+                lo, hi = cfg.left_range(v)
+                members = sorted(cfg.pi_left[x] for x in cfg.tree.subtree_nodes(v))
+                assert members == list(range(lo, hi + 1))
+                lo, hi = cfg.right_range(v)
+                members = sorted(cfg.pi_right[x] for x in cfg.tree.subtree_nodes(v))
+                assert members == list(range(lo, hi + 1))
+
+    def test_left_right_are_mirrors_on_children(self):
+        cfg = make_config(gen.triangulated_grid(4, 5))
+        # First child in left order is the last in right order.
+        for v in cfg.graph.nodes:
+            cs = cfg._children_in_rotation(v)
+            if len(cs) >= 2:
+                assert cfg._order_children_left[v] == list(reversed(cfg._order_children_right[v]))
+
+    def test_ancestor_via_ranges_matches_tree(self):
+        cfg = make_config(gen.delaunay(35, seed=5), kind="dfs")
+        nodes = sorted(cfg.graph.nodes)
+        for a in nodes[::3]:
+            for b in nodes[::4]:
+                assert cfg.is_ancestor(a, b) == cfg.tree.is_ancestor(a, b)
+
+
+class TestFundamentalEdges:
+    def test_count(self):
+        cfg = make_config(gen.grid(4, 5))
+        m, n = cfg.graph.number_of_edges(), cfg.n
+        assert len(cfg.real_fundamental_edges()) == m - (n - 1)
+
+    def test_orientation_convention(self):
+        cfg = make_config(gen.triangulated_grid(4, 4), kind="rand", seed=2)
+        for u, v in cfg.real_fundamental_edges():
+            assert cfg.pi_left[u] < cfg.pi_left[v]
+            assert not cfg.is_tree_edge(u, v)
+
+
+class TestValidation:
+    def test_tree_must_span(self):
+        g = gen.grid(3, 3)
+        sub = bfs_tree(g.subgraph(range(6)).copy(), 0)
+        with pytest.raises(ConfigurationError):
+            PlanarConfiguration(g, embed(g), sub)
+
+    def test_rotation_must_match_graph(self):
+        g = gen.grid(3, 3)
+        other = embed(gen.grid(3, 4))
+        with pytest.raises(ConfigurationError):
+            PlanarConfiguration(g, other, bfs_tree(g, 0))
+
+    def test_tree_edges_must_exist(self):
+        g = gen.grid(3, 3)
+        fake = bfs_tree(g, 0)
+        fake.parent[8] = 0  # 8 is not adjacent to 0
+        with pytest.raises(ConfigurationError):
+            PlanarConfiguration(g, embed(g), fake)
+
+    def test_build_rejects_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            PlanarConfiguration.build(g)
+
+
+class TestSubgraphEmbedding:
+    def test_restriction_preserves_relative_order(self):
+        g = gen.delaunay(30, seed=6)
+        rot = embed(g)
+        keep = set(range(15))
+        sub = embed_subgraph(rot, keep)
+        for v in keep:
+            expected = [u for u in rot.neighbors_cw(v) if u in keep]
+            assert list(sub.neighbors_cw(v)) == expected
+
+    def test_restriction_is_planar(self):
+        g = gen.delaunay(30, seed=6)
+        rot = embed(g)
+        sub = embed_subgraph(rot, range(12))
+        sub.validate()

@@ -1,0 +1,158 @@
+"""Tests for the message-level CONGEST simulator and its primitives."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    CongestViolation,
+    Network,
+    awerbuch_dfs,
+    awerbuch_dfs_run,
+    bfs_run,
+    broadcast_run,
+    convergecast_run,
+)
+from repro.core.verify import check_dfs_tree
+from repro.planar import generators as gen
+
+
+class TestNetworkSemantics:
+    def test_messages_take_one_round(self):
+        g = nx.path_graph(3)
+        log = []
+
+        def init(ctx):
+            ctx.state["sent"] = False
+
+        def on_round(ctx, inbox):
+            log.append((ctx.node, dict(inbox)))
+            if ctx.node == 0 and not ctx.state["sent"]:
+                ctx.state["sent"] = True
+                return {1: (7,)}
+            if inbox:
+                ctx.halt()
+            if ctx.node == 0 and ctx.state["sent"]:
+                ctx.halt()
+            if ctx.node == 2:
+                ctx.halt()
+            return None
+
+        Network(g).run(init, on_round, max_rounds=5)
+        # Node 1 sees the payload only in the round after it was sent.
+        first_round_inboxes = [entry for entry in log if entry[0] == 1]
+        assert first_round_inboxes[0][1] == {}
+        assert first_round_inboxes[1][1] == {0: (7,)}
+
+    def test_non_neighbor_send_rejected(self):
+        g = nx.path_graph(3)
+
+        def on_round(ctx, inbox):
+            if ctx.node == 0:
+                return {2: (1,)}
+            return None
+
+        with pytest.raises(CongestViolation):
+            Network(g).run(lambda ctx: None, on_round, max_rounds=3)
+
+    def test_bandwidth_budget_enforced(self):
+        g = nx.path_graph(2)
+
+        def on_round(ctx, inbox):
+            if ctx.node == 0:
+                return {1: tuple(range(100))}
+            return None
+
+        with pytest.raises(CongestViolation):
+            Network(g).run(lambda ctx: None, on_round, max_rounds=3)
+
+    def test_run_stops_when_all_halt(self):
+        g = nx.path_graph(4)
+
+        def on_round(ctx, inbox):
+            ctx.halt(ctx.node)
+            return None
+
+        result = Network(g).run(lambda ctx: None, on_round, max_rounds=100)
+        assert result.rounds == 1
+        assert result.outputs == {v: v for v in g.nodes}
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.Graph())
+
+
+class TestBFS:
+    def test_distances_match_reference(self):
+        for name, g in gen.FAMILIES(2):
+            res = bfs_run(g, 0)
+            ref = nx.single_source_shortest_path_length(g, 0)
+            dist = {v: out[0] for v, out in res.outputs.items()}
+            assert dist == dict(ref), name
+
+    def test_rounds_linear_in_eccentricity(self):
+        g = gen.grid(5, 9)
+        res = bfs_run(g, 0)
+        ecc = nx.eccentricity(g, 0)
+        assert ecc <= res.rounds <= 2 * ecc + 12
+
+    def test_parents_form_bfs_tree(self):
+        g = gen.delaunay(40, seed=5)
+        res = bfs_run(g, 0)
+        for v, (dist, parent) in res.outputs.items():
+            if v == 0:
+                assert parent is None
+            else:
+                assert res.outputs[parent][0] == dist - 1
+                assert g.has_edge(v, parent)
+
+
+class TestTreeCasts:
+    def test_broadcast_reaches_everyone(self):
+        g = gen.cylinder(4, 8)
+        parent = {v: out[1] for v, out in bfs_run(g, 0).outputs.items()}
+        res = broadcast_run(g, 0, 123, parent)
+        assert all(v == 123 for v in res.outputs.values())
+
+    def test_convergecast_sums(self):
+        g = gen.grid(5, 5)
+        parent = {v: out[1] for v, out in bfs_run(g, 0).outputs.items()}
+        values = {v: v for v in g.nodes}
+        res = convergecast_run(g, 0, values, parent)
+        assert res.outputs[0] == sum(values.values())
+
+    def test_convergecast_min(self):
+        g = gen.grid(4, 4)
+        parent = {v: out[1] for v, out in bfs_run(g, 0).outputs.items()}
+        values = {v: 100 - v for v in g.nodes}
+        res = convergecast_run(g, 0, values, parent, combine=min)
+        assert res.outputs[0] == min(values.values())
+
+    def test_cast_rounds_bounded_by_height(self):
+        g = gen.grid(3, 12)
+        parent = {v: out[1] for v, out in bfs_run(g, 0).outputs.items()}
+        from repro.trees import RootedTree
+
+        height = RootedTree(parent, 0).height()
+        b = broadcast_run(g, 0, 1, parent)
+        assert b.rounds <= height + 3
+
+
+class TestAwerbuch:
+    def test_produces_dfs_trees(self):
+        for name, g in gen.FAMILIES(4):
+            parent, rounds = awerbuch_dfs(g, 0)
+            check_dfs_tree(g, parent, 0)
+
+    def test_round_bound_4n(self):
+        for name, g in gen.FAMILIES(1):
+            result = awerbuch_dfs_run(g, 0)
+            assert result.rounds <= 4 * len(g) + 8, name
+
+    def test_rounds_grow_linearly(self):
+        small = awerbuch_dfs_run(gen.grid(4, 4), 0).rounds
+        large = awerbuch_dfs_run(gen.grid(8, 8), 0).rounds
+        assert large >= 3 * small  # 4x nodes -> ~4x rounds
+
+    def test_messages_are_small(self):
+        result = awerbuch_dfs_run(gen.delaunay(30, seed=2), 0)
+        assert result.max_words <= 2

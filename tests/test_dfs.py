@@ -1,0 +1,129 @@
+"""End-to-end tests for Theorem 2 (deterministic DFS trees)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.dfs import DFSError, dfs_tree
+from repro.core.verify import check_dfs_tree
+from repro.congest import CostModel, RoundLedger
+from repro.planar import generators as gen
+from repro.planar.checks import NotConnectedError, NotPlanarError
+
+
+class TestCorrectness:
+    def test_all_families(self):
+        for seed in range(2):
+            for name, g in gen.FAMILIES(seed):
+                root = seed % len(g)
+                res = dfs_tree(g, root)
+                tree = check_dfs_tree(g, res.parent, root)
+                assert tree.root == root
+
+    def test_depths_are_consistent(self):
+        g = gen.delaunay(50, seed=3)
+        res = dfs_tree(g, 0)
+        tree = res.to_tree()
+        assert res.depth == tree.depth
+
+    def test_deterministic(self):
+        g = gen.random_planar(40, density=0.5, seed=6)
+        a = dfs_tree(g, 0)
+        b = dfs_tree(g, 0)
+        assert a.parent == b.parent
+
+    def test_every_root(self):
+        g = gen.grid(4, 5)
+        for root in range(0, len(g), 3):
+            res = dfs_tree(g, root)
+            check_dfs_tree(g, res.parent, root)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sweep(self, seed):
+        for density in (0.25, 0.6, 1.0):
+            g = gen.random_planar(50, density=density, seed=seed)
+            root = seed % len(g)
+            res = dfs_tree(g, root)
+            check_dfs_tree(g, res.parent, root)
+
+
+class TestComplexityShape:
+    def test_logarithmic_phases(self):
+        for n_side in (5, 7, 9):
+            g = gen.grid(n_side, n_side)
+            res = dfs_tree(g, 0)
+            n = len(g)
+            assert res.phases <= 3 * math.ceil(math.log2(n)) + 3
+
+    def test_component_shrink_factor(self):
+        # Theorem 2: the max component shrinks by >= 1/3 per phase once a
+        # separator of it has been absorbed.
+        g = gen.delaunay(80, seed=4)
+        res = dfs_tree(g, 0)
+        for factor in res.shrink_factors[:-1]:
+            assert factor <= 2 / 3 + 1e-9
+
+    def test_join_iterations_logarithmic(self):
+        g = gen.triangulated_grid(8, 8)
+        res = dfs_tree(g, 0)
+        n = len(g)
+        assert max(res.join_iterations) <= 2 * math.ceil(math.log2(n)) + 2
+
+    def test_charged_rounds_scale_with_diameter(self):
+        g = gen.grid(7, 7)
+        ledger = RoundLedger(CostModel(len(g), nx.diameter(g)))
+        res = dfs_tree(g, 0, ledger=ledger)
+        assert ledger.total_rounds > 0
+        # Õ(D) sanity: far below the O(n * D) a naive approach would charge.
+        assert ledger.normalized() < 1000
+
+
+class TestEdgeCasesAndErrors:
+    def test_singleton(self):
+        g = nx.Graph()
+        g.add_node(5)
+        res = dfs_tree(g, 5)
+        assert res.parent == {5: None} and res.phases == 0
+
+    def test_two_nodes(self):
+        res = dfs_tree(nx.path_graph(2), 0)
+        assert res.parent == {0: None, 1: 0}
+
+    def test_tree_input(self):
+        g = gen.random_tree(30, seed=8)
+        res = dfs_tree(g, 0)
+        check_dfs_tree(g, res.parent, 0)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(ValueError):
+            dfs_tree(gen.grid(3, 3), 99)
+
+    def test_nonplanar_rejected(self):
+        with pytest.raises(NotPlanarError):
+            dfs_tree(nx.complete_graph(6), 0)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(NotConnectedError):
+            dfs_tree(nx.Graph([(0, 1), (2, 3)]), 0)
+
+
+class TestDFSRuleInvariants:
+    def test_parents_are_graph_edges(self):
+        g = gen.cylinder(4, 9)
+        res = dfs_tree(g, 0)
+        for v, p in res.parent.items():
+            if p is not None:
+                assert g.has_edge(v, p)
+
+    def test_depth_is_parent_plus_one(self):
+        g = gen.apollonian(5, seed=2)
+        res = dfs_tree(g, 0)
+        for v, p in res.parent.items():
+            if p is not None:
+                assert res.depth[v] == res.depth[p] + 1
+
+    def test_separator_phase_stats_recorded(self):
+        g = gen.delaunay(60, seed=1)
+        res = dfs_tree(g, 0)
+        assert sum(res.separator_phases.values()) >= res.phases

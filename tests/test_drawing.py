@@ -1,0 +1,74 @@
+"""Unit tests for straight-line drawings and exact geometry predicates."""
+
+import networkx as nx
+import pytest
+
+from repro.planar import (
+    OnBoundaryError,
+    embed,
+    point_in_polygon,
+    polygon_signed_area2,
+    straight_line_drawing,
+)
+from repro.planar import generators as gen
+
+
+SQUARE = [(0, 0), (10, 0), (10, 10), (0, 10)]
+
+
+class TestPointInPolygon:
+    def test_inside_and_outside(self):
+        assert point_in_polygon((5, 5), SQUARE)
+        assert not point_in_polygon((15, 5), SQUARE)
+        assert not point_in_polygon((-1, -1), SQUARE)
+
+    def test_boundary_raises(self):
+        with pytest.raises(OnBoundaryError):
+            point_in_polygon((10, 5), SQUARE)
+        with pytest.raises(OnBoundaryError):
+            point_in_polygon((0, 0), SQUARE)
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        poly = [(0, 0), (10, 0), (10, 3), (3, 3), (3, 7), (10, 7), (10, 10), (0, 10)]
+        assert not point_in_polygon((8, 5), poly)
+        assert point_in_polygon((1, 5), poly)
+
+    def test_orientation_irrelevant(self):
+        assert point_in_polygon((5, 5), list(reversed(SQUARE)))
+
+    def test_signed_area(self):
+        assert polygon_signed_area2(SQUARE) == 200
+        assert polygon_signed_area2(list(reversed(SQUARE))) == -200
+
+
+def _segments_properly_cross(p1, p2, q1, q2) -> bool:
+    def orient(a, b, c):
+        return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+    o1, o2 = orient(p1, p2, q1), orient(p1, p2, q2)
+    o3, o4 = orient(q1, q2, p1), orient(q1, q2, p2)
+    return (o1 > 0) != (o2 > 0) and (o3 > 0) != (o4 > 0) and 0 not in (o1, o2, o3, o4)
+
+
+class TestDrawing:
+    def test_integer_positions_for_all_nodes(self):
+        for name, g in gen.FAMILIES(1):
+            pos = straight_line_drawing(embed(g))
+            assert set(pos) == set(g.nodes), name
+            assert all(isinstance(x, int) and isinstance(y, int) for x, y in pos.values())
+
+    def test_no_proper_edge_crossings(self):
+        g = gen.delaunay(30, seed=4)
+        pos = straight_line_drawing(embed(g))
+        edges = list(g.edges())
+        for i, (a, b) in enumerate(edges):
+            for c, d in edges[i + 1:]:
+                if {a, b} & {c, d}:
+                    continue
+                assert not _segments_properly_cross(pos[a], pos[b], pos[c], pos[d])
+
+    def test_distinct_positions(self):
+        g = gen.triangulated_grid(5, 5)
+        pos = straight_line_drawing(embed(g))
+        assert len(set(pos.values())) == len(g)

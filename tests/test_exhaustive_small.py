@@ -1,0 +1,70 @@
+"""Exhaustive verification on ALL small connected planar graphs.
+
+The networkx graph atlas enumerates every graph on up to seven nodes; this
+module runs Theorem 1 and Theorem 2 on *every* connected planar graph with
+up to six nodes (and a deterministic sample of the seven-node ones), from
+every root.  Combined with the property-based suite this pins the
+algorithms down at the small end, where every phase boundary and off-by-one
+lives.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.config import PlanarConfiguration
+from repro.core.dfs import dfs_tree
+from repro.core.separator import cycle_separator
+from repro.core.verify import check_dfs_tree, check_separator
+
+
+def small_planar_graphs(max_nodes=6):
+    from networkx.generators.atlas import graph_atlas_g
+
+    for graph in graph_atlas_g():
+        if len(graph) < 1 or len(graph) > max_nodes:
+            continue
+        if not nx.is_connected(graph):
+            continue
+        if not nx.check_planarity(graph, counterexample=False)[0]:
+            continue
+        yield graph
+
+
+ALL_SMALL = list(small_planar_graphs(6))
+SEVEN_SAMPLE = [
+    g
+    for i, g in enumerate(small_planar_graphs(7))
+    if len(g) == 7 and i % 7 == 0
+]
+
+
+class TestExhaustiveSmall:
+    def test_atlas_has_expected_coverage(self):
+        assert len(ALL_SMALL) > 100  # all connected planar graphs, n <= 6
+
+    def test_separator_on_every_small_graph_every_root(self):
+        for graph in ALL_SMALL:
+            for root in graph.nodes:
+                cfg = PlanarConfiguration.build(graph, root=root)
+                res = cycle_separator(cfg)
+                check_separator(graph, res.path, cfg.tree)
+
+    def test_dfs_on_every_small_graph_every_root(self):
+        for graph in ALL_SMALL:
+            for root in graph.nodes:
+                res = dfs_tree(graph, root)
+                check_dfs_tree(graph, res.parent, root)
+
+    def test_seven_node_sample(self):
+        assert SEVEN_SAMPLE
+        for graph in SEVEN_SAMPLE:
+            for root in (0, len(graph) - 1):
+                cfg = PlanarConfiguration.build(graph, root=root)
+                check_separator(graph, cycle_separator(cfg).path, cfg.tree)
+                check_dfs_tree(graph, dfs_tree(graph, root).parent, root)
+
+    def test_determinism_on_small_graphs(self):
+        for graph in ALL_SMALL[::10]:
+            cfg1 = PlanarConfiguration.build(graph, root=0)
+            cfg2 = PlanarConfiguration.build(graph, root=0)
+            assert cycle_separator(cfg1).path == cycle_separator(cfg2).path

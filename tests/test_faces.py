@@ -1,0 +1,129 @@
+"""Unit tests for fundamental faces: borders, interiors, containment.
+
+The central invariant (tested exhaustively here and by property tests):
+:class:`FaceView`'s arc-based interior equals the region oracle's dual
+flood fill for every real fundamental edge.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.faces import face_view
+from repro.core.regions import RegionError, cycle_regions
+from repro.planar import generators as gen
+
+from conftest import configs_for, make_config
+
+
+def oracle_interior(cfg, fv):
+    root = cfg.tree.root
+    anchor = cfg.t(root)[0]
+    return cycle_regions(cfg.rotation, fv.border, (root, anchor)).inside_nodes
+
+
+class TestFaceView:
+    def test_border_is_tree_path_plus_edge(self):
+        cfg = make_config(gen.triangulated_grid(4, 5))
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            assert fv.border[0] == fv.u and fv.border[-1] == fv.v
+            for a, b in zip(fv.border, fv.border[1:]):
+                assert cfg.is_tree_edge(a, b)
+            assert cfg.graph.has_edge(fv.u, fv.v)
+
+    def test_interior_matches_oracle_all_families(self):
+        for name, g in gen.FAMILIES(2):
+            if g.number_of_edges() < len(g):
+                continue
+            for kind, cfg in configs_for(g, seed=2):
+                for e in cfg.real_fundamental_edges():
+                    fv = face_view(cfg, e)
+                    assert fv.interior() == oracle_interior(cfg, fv), (name, kind, e)
+
+    def test_interior_matches_oracle_nonzero_root(self):
+        g = gen.wheel(16)
+        for root in (3, 7, 11):
+            for kind, cfg in configs_for(g, root=root, seed=root):
+                for e in cfg.real_fundamental_edges():
+                    fv = face_view(cfg, e)
+                    assert fv.interior() == oracle_interior(cfg, fv)
+
+    def test_interior_is_union_of_full_subtrees(self):
+        cfg = make_config(gen.delaunay(40, seed=4), kind="rand", seed=4)
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            interior = fv.interior()
+            for z in interior:
+                assert set(cfg.tree.subtree_nodes(z)) <= interior
+
+    def test_p_values_sum_child_subtrees(self):
+        cfg = make_config(gen.triangulated_grid(4, 4))
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            interior = fv.interior()
+            for x in (fv.u, fv.v):
+                direct = sum(
+                    1
+                    for z in interior
+                    if cfg.tree.is_ancestor(x, z)
+                    and cfg.tree.first_step(x, z) in cfg.tree.children[x]
+                )
+                assert fv.p_value(x) == direct
+
+    def test_rejects_tree_and_missing_edges(self):
+        cfg = make_config(gen.grid(3, 4))
+        p, c = next(iter(cfg.tree.edges()))
+        with pytest.raises(ValueError):
+            face_view(cfg, (p, c))
+        with pytest.raises(ValueError):
+            face_view(cfg, (0, 99))
+
+
+class TestContainment:
+    def test_contains_edge_implies_region_containment(self):
+        cfg = make_config(gen.delaunay(30, seed=9))
+        edges = cfg.real_fundamental_edges()
+        views = {e: face_view(cfg, e) for e in edges}
+        regions = {
+            e: views[e].interior() | set(views[e].border) for e in edges
+        }
+        for e in edges:
+            interior = views[e].interior()
+            for f in edges:
+                if f == e:
+                    continue
+                if views[e].contains_edge(f, interior_cache=interior):
+                    assert regions[f] <= regions[e], (e, f)
+
+    def test_edge_not_contained_in_itself(self):
+        cfg = make_config(gen.triangulated_grid(3, 4))
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            assert not fv.contains_edge((fv.u, fv.v))
+            assert not fv.contains_edge((fv.v, fv.u))
+
+
+class TestRegions:
+    def test_rejects_non_cycle(self):
+        cfg = make_config(gen.grid(3, 4))
+        root, anchor = cfg.tree.root, cfg.t(cfg.tree.root)[0]
+        with pytest.raises(RegionError):
+            cycle_regions(cfg.rotation, [0, 1], (root, anchor))
+        with pytest.raises(RegionError):
+            cycle_regions(cfg.rotation, [0, 1, 5], (root, anchor))  # not edges
+
+    def test_rejects_repeated_nodes(self):
+        cfg = make_config(gen.grid(3, 4))
+        root, anchor = cfg.tree.root, cfg.t(cfg.tree.root)[0]
+        with pytest.raises(RegionError):
+            cycle_regions(cfg.rotation, [0, 1, 0], (root, anchor))
+
+    def test_two_sides_partition(self):
+        cfg = make_config(gen.triangulated_grid(4, 4))
+        root, anchor = cfg.tree.root, cfg.t(cfg.tree.root)[0]
+        for e in cfg.real_fundamental_edges()[:6]:
+            fv = face_view(cfg, e)
+            reg = cycle_regions(cfg.rotation, fv.border, (root, anchor))
+            all_nodes = reg.inside_nodes | reg.outside_nodes | reg.cycle_nodes
+            assert all_nodes == set(cfg.graph.nodes)
+            assert not reg.inside_nodes & reg.outside_nodes

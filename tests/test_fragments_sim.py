@@ -1,0 +1,72 @@
+"""Tests for message-level fragment merging (repro.congest.fragments_sim)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest import fragment_merge_run, mark_path_merge_run
+from repro.planar import generators as gen
+from repro.trees import bfs_tree, dfs_spanning_tree
+
+
+class TestFragmentMerge:
+    def test_iterations_logarithmic_in_depth(self):
+        for n in (64, 256, 1024):
+            g = gen.path_graph(n)
+            tree = bfs_tree(g, 0)
+            run = fragment_merge_run(g, tree)
+            assert run.iterations <= math.ceil(math.log2(n)) + 1
+
+    def test_shallow_trees_finish_fast(self):
+        g = gen.delaunay(150, seed=2)
+        tree = bfs_tree(g, 0)
+        run = fragment_merge_run(g, tree)
+        assert run.iterations <= math.ceil(math.log2(tree.height() + 2)) + 2
+
+    def test_rounds_reflect_fragment_diameters(self):
+        # Without shortcuts, the floods pay fragment diameters: a deep path
+        # costs Θ(n) total rounds — the cost Prop. 2 exists to remove.
+        g = gen.path_graph(300)
+        tree = bfs_tree(g, 0)
+        run = fragment_merge_run(g, tree)
+        assert run.rounds >= len(g) // 2
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        tree = bfs_tree(g, 0)
+        run = fragment_merge_run(g, tree)
+        assert run.iterations == 0 and run.rounds == 0
+
+
+class TestMarkPathMerge:
+    @pytest.mark.parametrize("kind", ["bfs", "dfs"])
+    def test_merge_edge_lies_on_path(self, kind):
+        g = gen.grid(7, 7)
+        tree = (dfs_spanning_tree if kind == "dfs" else bfs_tree)(g, 0)
+        nodes = sorted(g.nodes)
+        for u, v in [(nodes[0], nodes[-1]), (nodes[5], nodes[30]), (nodes[2], nodes[17])]:
+            run = mark_path_merge_run(g, tree, u, v)
+            path = tree.path(u, v)
+            a, b = run.merge_edge
+            assert a in path and b in path
+            assert abs(path.index(a) - path.index(b)) == 1
+
+    def test_long_path_merge_edge_is_central(self):
+        # On a path tree the depth-halving dynamic meets near the middle
+        # (Lemma 13's halving argument).
+        n = 256
+        g = gen.path_graph(n)
+        tree = bfs_tree(g, 0)
+        run = mark_path_merge_run(g, tree, 0, n - 1)
+        a, b = run.merge_edge
+        position = min(a, b) / (n - 1)
+        assert 0.2 <= position <= 0.8
+
+    def test_adjacent_endpoints(self):
+        g = gen.grid(4, 4)
+        tree = bfs_tree(g, 0)
+        child = tree.children[0][0]
+        run = mark_path_merge_run(g, tree, 0, child)
+        assert set(run.merge_edge) == {0, child}

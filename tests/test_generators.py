@@ -1,0 +1,122 @@
+"""Unit tests for the planar workload generators."""
+
+import networkx as nx
+import pytest
+
+from repro.planar import generators as gen
+from repro.planar import require_planar_connected
+
+
+class TestAllFamilies:
+    def test_planar_and_connected(self):
+        for name, g in gen.FAMILIES(5):
+            require_planar_connected(g)
+
+    def test_integer_labels(self):
+        for name, g in gen.FAMILIES(2):
+            assert set(g.nodes) == set(range(len(g))), name
+
+    def test_deterministic(self):
+        a = {name: (sorted(g.nodes), sorted(map(sorted, g.edges)))
+             for name, g in gen.FAMILIES(4)}
+        b = {name: (sorted(g.nodes), sorted(map(sorted, g.edges)))
+             for name, g in gen.FAMILIES(4)}
+        assert a == b
+
+
+class TestSpecifics:
+    def test_grid_shape(self):
+        g = gen.grid(4, 7)
+        assert len(g) == 28
+        assert g.number_of_edges() == 4 * 6 + 7 * 3
+
+    def test_triangulated_grid_adds_diagonals(self):
+        g = gen.triangulated_grid(4, 4)
+        plain = gen.grid(4, 4)
+        assert g.number_of_edges() == plain.number_of_edges() + 9
+
+    def test_cylinder_diameter_small(self):
+        g = gen.cylinder(3, 20)
+        assert nx.diameter(g) <= 3 + 10
+
+    def test_cylinder_needs_three_columns(self):
+        with pytest.raises(ValueError):
+            gen.cylinder(3, 2)
+
+    def test_delaunay_is_triangulation_sized(self):
+        g = gen.delaunay(50, seed=1)
+        assert len(g) == 50
+        assert g.number_of_edges() >= 2 * 50 - 6  # near-maximal planar
+
+    def test_random_planar_density_bounds(self):
+        dense = gen.random_planar(40, density=1.0, seed=2)
+        sparse = gen.random_planar(40, density=0.2, seed=2)
+        assert sparse.number_of_edges() < dense.number_of_edges()
+        with pytest.raises(ValueError):
+            gen.random_planar(10, density=1.5)
+
+    def test_outerplanar_chord_count(self):
+        g = gen.outerplanar(30, chords=10, seed=3)
+        assert g.number_of_edges() <= 30 + 10
+
+    def test_apollonian_is_maximal_planar(self):
+        g = gen.apollonian(4, seed=0)
+        assert g.number_of_edges() == 3 * len(g) - 6
+
+    def test_wheel_diameter(self):
+        assert nx.diameter(gen.wheel(20)) == 2
+
+    def test_theta_graph_structure(self):
+        g = gen.theta_graph(3, 4)
+        assert len(g) == 2 + 3 * 4
+        assert g.degree[0] == 3 and g.degree[1] == 3
+        with pytest.raises(ValueError):
+            gen.theta_graph(1, 4)
+
+    def test_star_and_broom(self):
+        assert gen.star_graph(10).degree[0] == 9
+        broom = gen.broom(5, 6)
+        assert broom.degree[4] == 7  # path end + 6 bristles
+
+    def test_caterpillar_is_tree(self):
+        g = gen.caterpillar(6, 3)
+        assert nx.is_tree(g)
+        assert len(g) == 6 + 18
+
+    def test_random_tree_is_tree(self):
+        for n in (1, 2, 3, 17):
+            assert nx.is_tree(gen.random_tree(n, seed=9)) or n <= 1
+
+    def test_nested_triangles(self):
+        g = gen.nested_triangles(4)
+        assert len(g) == 12
+        with pytest.raises(ValueError):
+            gen.nested_triangles(0)
+
+    def test_ladder(self):
+        g = gen.ladder(6)
+        assert len(g) == 12
+
+
+class TestNewFamilies:
+    def test_hexagonal_degree_bound(self):
+        g = gen.hexagonal(3, 4)
+        assert max(dict(g.degree).values()) <= 3
+
+    def test_fan_is_maximal_outerplanar(self):
+        g = gen.fan(12)
+        assert g.number_of_edges() == 2 * 12 - 3
+        require_planar_connected(g)
+
+    def test_double_wheel_structure(self):
+        g = gen.double_wheel(18)
+        hubs = [v for v in g.nodes if g.degree[v] == 16]
+        assert len(hubs) == 2
+        with pytest.raises(ValueError):
+            gen.double_wheel(4)
+
+    def test_series_parallel_is_planar_connected(self):
+        for seed in range(4):
+            g = gen.series_parallel(40, seed=seed)
+            require_planar_connected(g)
+            assert len(g) >= 40

@@ -1,0 +1,79 @@
+"""White-box tests for the JOIN-PROBLEM machinery (repro.core.dfs._join).
+
+The end-to-end DFS runs exercise only single-iteration joins (Theorem 1's
+separators happen to be swallowed by the first root-to-farthest path), so
+these tests drive the halving loop directly with marked sets spanning
+several branches.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.dfs import DFSResult, _join, dfs_tree
+from repro.core.verify import check_dfs_tree
+
+
+def spider(arms: int, length: int):
+    """A center (node 1) with `arms` paths of `length`, plus anchor node 0."""
+    g = nx.Graph()
+    g.add_edge(0, 1)
+    nxt = 2
+    tips = []
+    for _ in range(arms):
+        prev = 1
+        for _ in range(length):
+            g.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+        tips.append(prev)
+    return g, tips
+
+
+class TestJoinHalving:
+    def test_multi_branch_marked_set_needs_multiple_iterations(self):
+        g, tips = spider(3, 5)
+        result = DFSResult(0)
+        component = set(g.nodes) - {0}
+        iterations = _join(g, component, set(tips), result, ledger=None)
+        # One path absorbs one tip; the other tips live in separate
+        # sub-components handled in the next iteration (in parallel).
+        assert iterations == 2
+        for tip in tips:
+            assert tip in result.parent
+
+    def test_dfs_rule_depths_and_parents(self):
+        g, tips = spider(4, 4)
+        result = DFSResult(0)
+        component = set(g.nodes) - {0}
+        _join(g, component, set(tips), result, ledger=None)
+        for v, p in result.parent.items():
+            if p is not None:
+                assert g.has_edge(v, p)
+                assert result.depth[v] == result.depth[p] + 1
+
+    def test_marked_path_single_iteration(self):
+        g, tips = spider(2, 6)
+        result = DFSResult(0)
+        component = set(g.nodes) - {0}
+        # Marked set on one arm only: swallowed in one go.
+        arm_tip = tips[0]
+        iterations = _join(g, component, {arm_tip}, result, ledger=None)
+        assert iterations == 1
+
+    def test_join_is_prefix_of_valid_dfs(self):
+        # After joining everything node by node the result must satisfy the
+        # DFS characterization on the full graph.
+        g, tips = spider(3, 3)
+        res = dfs_tree(g, 0)
+        check_dfs_tree(g, res.parent, 0)
+
+    def test_partial_tree_invariant_after_join(self):
+        """After a join, every edge with both endpoints in T_d connects an
+        ancestor-descendant pair (partial-DFS-tree invariant)."""
+        from repro.core.verify import check_partial_dfs
+
+        g, tips = spider(3, 5)
+        result = DFSResult(0)
+        component = set(g.nodes) - {0}
+        _join(g, component, set(tips), result, ledger=None)
+        check_partial_dfs(g, result.parent, 0)

@@ -1,0 +1,89 @@
+"""Tests for the cost model and round ledger."""
+
+import pytest
+
+from repro.congest import CostModel, RoundLedger
+
+
+class TestCostModel:
+    def test_pa_is_congestion_plus_dilation(self):
+        model = CostModel(100, 10, shortcut_quality=(7, 13))
+        assert model.pa == 20
+        assert model.rounds("partwise-aggregation") == 20
+
+    def test_analytic_default_is_d_log_d(self):
+        model = CostModel(1000, 32)
+        assert model.pa == 2 * 32 * 6  # D * ceil(log2(D+1)) for both c and d
+
+    def test_table_scales_with_log(self):
+        model = CostModel(1024, 8, shortcut_quality=(1, 1))
+        assert model.rounds("precomputation") == (10 + 2) * 2
+        assert model.rounds("mark-path") == 100 * 2
+
+    def test_unknown_subroutine_rejected(self):
+        model = CostModel(10, 3)
+        with pytest.raises(KeyError):
+            model.rounds("frobnicate")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(0, 5)
+
+
+class TestRoundLedger:
+    def model(self):
+        return CostModel(64, 8, shortcut_quality=(2, 3))
+
+    def test_sequential_charges_accumulate(self):
+        ledger = RoundLedger(self.model())
+        ledger.charge_subroutine("partwise-aggregation", 3)
+        assert ledger.total_rounds == 15
+        assert ledger.invocations["partwise-aggregation"] == 3
+
+    def test_parallel_takes_max(self):
+        ledger = RoundLedger(self.model())
+        ledger.begin_parallel()
+        ledger.begin_branch()
+        ledger.charge_subroutine("partwise-aggregation", 1)  # 5 rounds
+        ledger.begin_branch()
+        ledger.charge_subroutine("partwise-aggregation", 4)  # 20 rounds
+        ledger.end_parallel()
+        assert ledger.total_rounds == 20
+
+    def test_empty_parallel_block_is_free(self):
+        ledger = RoundLedger(self.model())
+        ledger.begin_parallel()
+        ledger.end_parallel()
+        assert ledger.total_rounds == 0
+
+    def test_nested_parallel_rejected(self):
+        ledger = RoundLedger(self.model())
+        ledger.begin_parallel()
+        with pytest.raises(RuntimeError):
+            ledger.begin_parallel()
+
+    def test_branch_outside_block_rejected(self):
+        ledger = RoundLedger(self.model())
+        with pytest.raises(RuntimeError):
+            ledger.begin_branch()
+        with pytest.raises(RuntimeError):
+            ledger.end_parallel()
+
+    def test_raw_round_charges(self):
+        ledger = RoundLedger(self.model())
+        ledger.charge_rounds("measured-bfs", 17)
+        assert ledger.total_rounds == 17
+        assert ledger.by_subroutine["measured-bfs"] == 17
+
+    def test_normalized_divides_by_d_log2(self):
+        model = CostModel(64, 8, shortcut_quality=(2, 3))
+        ledger = RoundLedger(model)
+        ledger.charge_rounds("x", 8 * 6 * 6)
+        assert ledger.normalized() == pytest.approx(1.0)
+
+    def test_breakdown_sorted_descending(self):
+        ledger = RoundLedger(self.model())
+        ledger.charge_subroutine("weights")
+        ledger.charge_subroutine("mark-path")
+        items = list(ledger.breakdown().values())
+        assert items == sorted(items, reverse=True)

@@ -1,0 +1,80 @@
+"""Tests for the message-level Borůvka MST (repro.congest.mst)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network, boruvka_mst_run
+from repro.planar import generators as gen
+
+
+def weighted(graph, seed):
+    rng = random.Random(seed)
+    for a, b in graph.edges():
+        graph[a][b]["weight"] = rng.random()
+    return graph
+
+
+class TestBoruvkaMST:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = weighted(gen.delaunay(45, seed=seed), seed)
+        run = boruvka_mst_run(g)
+        ref = {frozenset(e) for e in nx.minimum_spanning_tree(g).edges()}
+        assert run.edges == ref
+
+    def test_unweighted_gives_spanning_tree(self):
+        g = gen.grid(5, 6)
+        run = boruvka_mst_run(g)
+        assert len(run.edges) == len(g) - 1
+        tree = nx.Graph(tuple(e) for e in run.edges)
+        assert nx.is_connected(tree)
+
+    def test_logarithmic_phases(self):
+        g = weighted(gen.grid(8, 8), 1)
+        run = boruvka_mst_run(g)
+        assert run.phases <= math.ceil(math.log2(len(g))) + 1
+
+    def test_rounds_are_positive_and_bounded(self):
+        g = weighted(gen.delaunay(40, seed=2), 2)
+        run = boruvka_mst_run(g)
+        assert 0 < run.rounds <= run.phases * (4 * len(g) + 20) + len(g)
+
+    def test_rejects_disconnected_and_empty(self):
+        with pytest.raises(ValueError):
+            boruvka_mst_run(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(ValueError):
+            boruvka_mst_run(nx.Graph())
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        run = boruvka_mst_run(g)
+        assert run.edges == set() and run.phases == 0
+
+
+class TestQuiescence:
+    def test_stop_when_quiet_ends_flood(self):
+        g = gen.grid(4, 8)
+
+        def init(ctx):
+            ctx.state["seen"] = ctx.node == 0
+            ctx.state["dirty"] = ctx.node == 0
+
+        def on_round(ctx, inbox):
+            if inbox and not ctx.state["seen"]:
+                ctx.state["seen"] = True
+                ctx.state["dirty"] = True
+            if ctx.state["dirty"]:
+                ctx.state["dirty"] = False
+                return {u: (1,) for u in ctx.neighbors}
+            return None
+
+        res = Network(g).run(
+            init, on_round, max_rounds=500,
+            finalize=lambda ctx: ctx.state["seen"], stop_when_quiet=True,
+        )
+        assert all(res.outputs.values())
+        assert res.rounds < 500

@@ -1,0 +1,60 @@
+"""Robustness: everything works with non-integer node labels.
+
+Node identifiers in CONGEST are opaque IDs; the library breaks ties by
+``repr`` ordering, so strings and tuples must work everywhere integers do.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.config import PlanarConfiguration
+from repro.core.dfs import dfs_tree
+from repro.core.separator import compute_cycle_separators, cycle_separator
+from repro.core.verify import check_dfs_tree, check_separator
+from repro.planar import generators as gen
+
+
+def string_labelled(graph):
+    return nx.relabel_nodes(graph, {v: f"node-{v:03d}" for v in graph.nodes})
+
+
+def tuple_labelled(graph):
+    return nx.relabel_nodes(graph, {v: (v // 10, v % 10) for v in graph.nodes})
+
+
+class TestStringLabels:
+    def test_separator(self):
+        g = string_labelled(gen.delaunay(45, seed=3))
+        cfg = PlanarConfiguration.build(g, root="node-000")
+        res = cycle_separator(cfg)
+        check_separator(g, res.path, cfg.tree)
+
+    def test_dfs(self):
+        g = string_labelled(gen.grid(5, 6))
+        res = dfs_tree(g, "node-000")
+        check_dfs_tree(g, res.parent, "node-000")
+
+    def test_partition(self):
+        g = string_labelled(gen.grid(4, 6))
+        names = sorted(g.nodes)
+        parts = [names[:12], names[12:]]
+        out = compute_cycle_separators(g, parts)
+        for i, part in enumerate(parts):
+            check_separator(g.subgraph(part), out[i].path)
+
+
+class TestTupleLabels:
+    def test_separator_and_dfs(self):
+        g = tuple_labelled(gen.triangulated_grid(5, 5))
+        root = min(g.nodes)
+        cfg = PlanarConfiguration.build(g, root=root)
+        check_separator(g, cycle_separator(cfg).path, cfg.tree)
+        res = dfs_tree(g, root)
+        check_dfs_tree(g, res.parent, root)
+
+    def test_hierarchy(self):
+        from repro.applications import build_hierarchy
+
+        g = tuple_labelled(gen.delaunay(60, seed=2))
+        h = build_hierarchy(g)
+        assert sorted(h.elimination_order()) == sorted(g.nodes)

@@ -1,0 +1,98 @@
+"""Tests for message-level part-wise aggregation (repro.congest.partwise_sim)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import partwise_aggregation_run
+from repro.planar import generators as gen
+from repro.trees import bfs_tree
+
+
+def stripes(graph, k):
+    nodes = sorted(graph.nodes)
+    size = (len(nodes) + k - 1) // k
+    return [nodes[i: i + size] for i in range(0, len(nodes), size)]
+
+
+class TestPartwiseSimulation:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_sums_are_exact(self, k):
+        g = gen.grid(6, 8)
+        parts = stripes(g, k)
+        values = {v: (v * 13) % 17 for v in g.nodes}
+        run = partwise_aggregation_run(g, parts, values)
+        assert run.aggregates == {
+            i: sum(values[v] for v in p) for i, p in enumerate(parts)
+        }
+
+    def test_min_combiner(self):
+        g = gen.delaunay(60, seed=4)
+        parts = stripes(g, 5)
+        values = {v: 100 - v for v in g.nodes}
+        run = partwise_aggregation_run(g, parts, values, combine=min)
+        assert run.aggregates == {
+            i: min(values[v] for v in p) for i, p in enumerate(parts)
+        }
+
+    def test_measured_rounds_within_charge(self):
+        for k in (2, 6, 12):
+            g = gen.grid(8, 8)
+            parts = stripes(g, k)
+            values = {v: 1 for v in g.nodes}
+            run = partwise_aggregation_run(g, parts, values)
+            assert run.rounds <= run.charge
+
+    def test_pipelining_beats_sequential(self):
+        # Many parts sharing the tree: pipelined rounds must be far below
+        # the sequential bound (parts x depth).
+        g = gen.grid(9, 9)
+        parts = stripes(g, 27)
+        values = {v: 1 for v in g.nodes}
+        tree = bfs_tree(g, 0)
+        run = partwise_aggregation_run(g, parts, values, tree=tree)
+        sequential = len(parts) * (tree.height() + 1)
+        assert run.rounds < sequential / 3
+
+    def test_singleton_parts(self):
+        g = gen.grid(4, 4)
+        parts = [[v] for v in sorted(g.nodes)]
+        values = {v: v for v in g.nodes}
+        run = partwise_aggregation_run(g, parts, values)
+        assert run.aggregates == {i: v for i, v in enumerate(sorted(g.nodes))}
+
+    def test_whole_graph_part(self):
+        g = gen.delaunay(50, seed=2)
+        run = partwise_aggregation_run(g, [sorted(g.nodes)], {v: 1 for v in g.nodes})
+        assert run.aggregates == {0: len(g)}
+
+
+class TestPartwiseBroadcast:
+    def test_all_members_receive_their_value(self):
+        from repro.congest import partwise_broadcast_run
+
+        g = gen.grid(6, 8)
+        parts = stripes(g, 6)
+        values = {i: 500 + i for i in range(len(parts))}
+        run = partwise_broadcast_run(g, parts, values)
+        assert run.aggregates == values
+
+    def test_downcast_within_charge(self):
+        from repro.congest import partwise_broadcast_run
+
+        for k in (2, 10, 20):
+            g = gen.grid(8, 8)
+            parts = stripes(g, k)
+            values = {i: i for i in range(len(parts))}
+            run = partwise_broadcast_run(g, parts, values)
+            assert run.rounds <= run.charge
+
+    def test_roundtrip_aggregate_then_broadcast(self):
+        """Prop. 4's full cycle: aggregate per part, then inform members."""
+        from repro.congest import partwise_aggregation_run, partwise_broadcast_run
+
+        g = gen.delaunay(80, seed=9)
+        parts = stripes(g, 5)
+        node_values = {v: v % 13 for v in g.nodes}
+        up = partwise_aggregation_run(g, parts, node_values)
+        down = partwise_broadcast_run(g, parts, up.aggregates)
+        assert down.aggregates == up.aggregates

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Instances are drawn from the generator families with randomized sizes,
+densities, seeds, roots and spanning-tree flavors; the properties are the
+paper's load-bearing statements:
+
+* Definition 2 weights are exact (Lemmas 3/4);
+* arc-based face interiors equal the dual flood fill;
+* every emitted separator is a balanced T-path (Theorem 1);
+* every DFS tree satisfies the ancestor property (Theorem 2);
+* rooted-tree algebra (reroot, paths, LCA) is self-consistent.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PlanarConfiguration
+from repro.core.dfs import dfs_tree
+from repro.core.faces import face_view
+from repro.core.regions import cycle_regions
+from repro.core.separator import cycle_separator
+from repro.core.verify import check_dfs_tree, check_separator
+from repro.core.weights import interior_by_orders, weight
+from repro.planar import generators as gen
+from repro.trees import bfs_tree, dfs_spanning_tree, random_spanning_tree
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def planar_instances(draw, min_n=8, max_n=45):
+    """A random planar graph + spanning-tree flavor + root."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 10_000))
+    family = draw(st.sampled_from(["delaunay", "sparse", "medium", "outer", "tree"]))
+    if family == "delaunay":
+        g = gen.delaunay(n, seed=seed)
+    elif family == "sparse":
+        g = gen.random_planar(n, density=0.25, seed=seed)
+    elif family == "medium":
+        g = gen.random_planar(n, density=0.6, seed=seed)
+    elif family == "outer":
+        g = gen.outerplanar(n, chords=n // 3, seed=seed)
+    else:
+        g = gen.random_tree(n, seed=seed)
+    kind = draw(st.sampled_from(["bfs", "dfs", "rand"]))
+    root = draw(st.integers(0, n - 1)) % len(g)
+    if kind == "bfs":
+        tree = bfs_tree(g, root)
+    elif kind == "dfs":
+        tree = dfs_spanning_tree(g, root)
+    else:
+        tree = random_spanning_tree(g, root, seed)
+    return g, PlanarConfiguration.build(g, root=root, tree=tree)
+
+
+class TestWeightExactness:
+    @given(planar_instances())
+    @settings(**COMMON)
+    def test_definition2_is_exact(self, instance):
+        g, cfg = instance
+        tree = cfg.tree
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            interior = fv.interior()
+            if tree.is_ancestor(fv.u, fv.v):
+                expected = len(interior)
+            else:
+                expected = len(interior) + (
+                    tree.depth[fv.v] - tree.depth[fv.lca] + 1
+                )
+            assert weight(cfg, fv) == expected
+
+    @given(planar_instances())
+    @settings(**COMMON)
+    def test_remark1_membership(self, instance):
+        g, cfg = instance
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            assert interior_by_orders(cfg, fv) == fv.interior()
+
+
+class TestFaceInteriors:
+    @given(planar_instances())
+    @settings(**COMMON)
+    def test_arc_interior_equals_flood_fill(self, instance):
+        g, cfg = instance
+        root = cfg.tree.root
+        if not cfg.t(root):
+            return
+        anchor = cfg.t(root)[0]
+        for e in cfg.real_fundamental_edges():
+            fv = face_view(cfg, e)
+            oracle = cycle_regions(cfg.rotation, fv.border, (root, anchor))
+            assert fv.interior() == oracle.inside_nodes
+
+
+class TestTheorem1:
+    @given(planar_instances())
+    @settings(**COMMON)
+    def test_separator_is_balanced_tree_path(self, instance):
+        g, cfg = instance
+        res = cycle_separator(cfg)
+        check_separator(g, res.path, cfg.tree)
+
+
+class TestTheorem2:
+    @given(planar_instances(max_n=35))
+    @settings(**COMMON)
+    def test_dfs_tree_ancestor_property(self, instance):
+        g, cfg = instance
+        root = cfg.tree.root
+        res = dfs_tree(g, root)
+        check_dfs_tree(g, res.parent, root)
+
+
+class TestTreeAlgebra:
+    @given(planar_instances(max_n=30), st.integers(0, 10_000))
+    @settings(**COMMON)
+    def test_reroot_and_paths(self, instance, pick):
+        g, cfg = instance
+        tree = cfg.tree
+        nodes = sorted(tree.nodes, key=repr)
+        a = nodes[pick % len(nodes)]
+        b = nodes[(pick * 31 + 7) % len(nodes)]
+        path = tree.path(a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) == tree.path_length(a, b) + 1
+        rerooted = tree.reroot(a)
+        assert rerooted.depth[b] == tree.path_length(a, b)
+        # Rerooting twice returns to an equivalent tree.
+        back = rerooted.reroot(tree.root)
+        assert back.depth == tree.depth
+        w = tree.lca(a, b)
+        assert tree.is_ancestor(w, a) and tree.is_ancestor(w, b)
+
+
+class TestInsertionSoundness:
+    @given(planar_instances(max_n=30), st.integers(0, 10_000))
+    @settings(**COMMON)
+    def test_balanced_insertion_certificates_are_sound(self, instance, pick):
+        """Whenever balanced_insertion certifies a pair, removing the T-path
+        really leaves components of at most 2n/3 nodes."""
+        from repro.core.augment import balanced_insertion
+        from repro.core.verify import separator_report
+
+        g, cfg = instance
+        n = cfg.n
+        nodes = sorted(g.nodes, key=repr)
+        a = nodes[pick % len(nodes)]
+        b = nodes[(pick * 17 + 3) % len(nodes)]
+        if a == b or g.has_edge(a, b):
+            return
+        if balanced_insertion(cfg, a, b, n) is None:
+            return
+        assert separator_report(g, cfg.tree.path(a, b)).balanced
+
+    @given(planar_instances(max_n=30))
+    @settings(**COMMON)
+    def test_insertion_variants_preserve_planarity(self, instance):
+        from repro.core.augment import insertion_variants
+
+        g, cfg = instance
+        nodes = sorted(g.nodes, key=repr)
+        a, b = nodes[0], nodes[-1]
+        if a == b or g.has_edge(a, b):
+            return
+        for cfg2, view in insertion_variants(cfg, a, b):
+            cfg2.rotation.validate()
+            assert view.border[0] == view.u and view.border[-1] == view.v
+            break  # one variant suffices per example
+
+
+class TestCertifyProperty:
+    @given(planar_instances(max_n=30))
+    @settings(**COMMON)
+    def test_every_separator_gets_a_certificate(self, instance):
+        from repro.core.certify import certify_cycle
+
+        g, cfg = instance
+        res = cycle_separator(cfg)
+        cert = certify_cycle(cfg, res.path)
+        assert cert in {"real-edge", "virtual-edge", "root-slit", "trivial"}
+
+
+class TestMessageLevelProperty:
+    @given(planar_instances(min_n=6, max_n=25))
+    @settings(deadline=None, max_examples=12,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_message_weights_match_charged(self, instance):
+        from repro.congest import weights_problem_run
+        from repro.core.faces import face_view
+        from repro.core.weights import weight
+
+        g, cfg = instance
+        run = weights_problem_run(cfg)
+        for e in cfg.real_fundamental_edges():
+            assert run.weights[cfg.orient(e)] == weight(cfg, face_view(cfg, e))

@@ -1,0 +1,56 @@
+"""Public API surface tests: imports, __all__, and the quickstart example."""
+
+import importlib
+
+import networkx as nx
+import pytest
+
+
+MODULES = [
+    "repro",
+    "repro.baselines",
+    "repro.congest",
+    "repro.core",
+    "repro.planar",
+    "repro.shortcuts",
+    "repro.trees",
+]
+
+
+class TestSurface:
+    @pytest.mark.parametrize("name", MODULES)
+    def test_module_all_resolves(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_quickstart_docstring_example(self):
+        import repro
+
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(12, 12))
+        result = repro.dfs_tree(graph, root=0)
+        repro.check_dfs_tree(graph, result.parent, 0)
+
+    def test_separator_public_entry(self):
+        import repro
+        from repro.planar import generators as gen
+
+        g = gen.delaunay(40, seed=0)
+        cfg = repro.PlanarConfiguration.build(g, root=0)
+        res = repro.cycle_separator(cfg)
+        report = repro.check_separator(g, res.path, cfg.tree)
+        assert report.balanced
+
+    def test_partition_entry(self):
+        import repro
+        from repro.planar import generators as gen
+
+        g = gen.grid(6, 6)
+        parts = [list(range(0, 18)), list(range(18, 36))]
+        out = repro.compute_cycle_separators(g, parts)
+        assert set(out) == {0, 1}

@@ -1,0 +1,51 @@
+"""Moderate-scale integration tests (hundreds to thousands of nodes).
+
+These guard against accidental super-linear blowups in the face machinery
+and confirm the guarantees do not erode with size.
+"""
+
+import time
+
+import networkx as nx
+import pytest
+
+from repro.core.config import PlanarConfiguration
+from repro.core.dfs import dfs_tree
+from repro.core.separator import cycle_separator
+from repro.core.verify import check_dfs_tree, check_separator
+from repro.planar import generators as gen
+
+
+class TestScale:
+    def test_separator_at_3000_nodes(self):
+        g = gen.delaunay(3000, seed=5)
+        cfg = PlanarConfiguration.build(g, root=0)
+        start = time.time()
+        res = cycle_separator(cfg)
+        elapsed = time.time() - start
+        check_separator(g, res.path, cfg.tree)
+        assert elapsed < 30  # generous; catches quadratic regressions
+
+    def test_dfs_at_1500_nodes(self):
+        g = gen.delaunay(1500, seed=6)
+        start = time.time()
+        res = dfs_tree(g, 0)
+        elapsed = time.time() - start
+        check_dfs_tree(g, res.parent, 0)
+        assert res.phases <= 14
+        assert elapsed < 60
+
+    def test_large_grid_dfs_tree_separator(self):
+        # The degenerate snake configuration at scale.
+        from repro.trees import dfs_spanning_tree
+
+        g = gen.grid(30, 30)
+        cfg = PlanarConfiguration.build(g, root=0, tree=dfs_spanning_tree(g, 0))
+        res = cycle_separator(cfg)
+        check_separator(g, res.path, cfg.tree)
+
+    def test_deep_tree_orders_at_20k(self):
+        g = gen.path_graph(20_000)
+        cfg = PlanarConfiguration.build(g, root=0)
+        assert cfg.pi_left[19_999] == 20_000
+        assert cfg.tree.subtree_size[0] == 20_000

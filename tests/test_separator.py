@@ -1,0 +1,146 @@
+"""End-to-end tests for Theorem 1 (cycle separators)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.config import PlanarConfiguration
+from repro.core.separator import (
+    SeparatorError,
+    compute_cycle_separators,
+    cycle_separator,
+)
+from repro.core.verify import check_separator, separator_report
+from repro.congest import CostModel, RoundLedger
+from repro.planar import generators as gen
+from repro.planar.checks import NotConnectedError
+from repro.trees import bfs_tree
+
+from conftest import configs_for, make_config
+
+
+class TestAllFamilies:
+    def test_valid_on_every_family_and_tree(self):
+        for seed in range(3):
+            for name, g in gen.FAMILIES(seed):
+                for kind, cfg in configs_for(g, root=seed % len(g), seed=seed):
+                    res = cycle_separator(cfg)
+                    report = check_separator(g, res.path, cfg.tree)
+                    assert report.balanced, (name, kind, seed)
+
+    def test_separator_is_simple_tree_path(self):
+        for name, g in gen.FAMILIES(1):
+            cfg = make_config(g, seed=1)
+            res = cycle_separator(cfg)
+            assert len(set(res.path)) == len(res.path)
+            for a, b in zip(res.path, res.path[1:]):
+                assert cfg.is_tree_edge(a, b)
+
+    def test_deterministic(self):
+        g = gen.delaunay(50, seed=9)
+        a = cycle_separator(make_config(g, seed=9))
+        b = cycle_separator(make_config(g, seed=9))
+        assert a.path == b.path and a.phase == b.phase
+
+
+class TestTrivialAndTreeCases:
+    def test_singleton(self):
+        g = nx.Graph()
+        g.add_node(0)
+        res = cycle_separator(PlanarConfiguration.build(g, root=0))
+        assert res.path == [0] and res.phase == "trivial"
+
+    def test_two_nodes(self):
+        res = cycle_separator(PlanarConfiguration.build(nx.path_graph(2), root=0))
+        assert set(res.path) == {0, 1}
+
+    def test_triangle(self):
+        g = nx.cycle_graph(3)
+        res = cycle_separator(PlanarConfiguration.build(g, root=0))
+        check_separator(g, res.path)
+
+    def test_tree_inputs_use_phase2(self):
+        for maker in (lambda: gen.path_graph(30), lambda: gen.star_graph(15),
+                      lambda: gen.broom(8, 9), lambda: gen.random_tree(40, seed=2)):
+            g = maker()
+            cfg = make_config(g)
+            res = cycle_separator(cfg)
+            assert res.phase == "phase2"
+            check_separator(g, res.path, cfg.tree)
+
+    def test_star_uses_centroid_fallback(self):
+        cfg = make_config(gen.star_graph(13))
+        res = cycle_separator(cfg)
+        assert res.rule == "centroid-fallback"
+
+    def test_phase2_path_starts_at_root(self):
+        cfg = make_config(gen.random_tree(25, seed=4))
+        res = cycle_separator(cfg)
+        assert res.path[0] == cfg.tree.root
+
+
+class TestPhaseBehaviour:
+    def test_phase3_weight_in_window(self):
+        # Triangulated grids with BFS trees reliably have a window face.
+        cfg = make_config(gen.triangulated_grid(5, 5))
+        res = cycle_separator(cfg)
+        g = cfg.graph
+        check_separator(g, res.path, cfg.tree)
+        assert res.phase in {"phase3", "phase3b", "phase4.1", "phase4.1-hidden",
+                             "phase4.2", "phase5", "phase5-rooted"}
+
+    def test_grid_dfs_tree_uses_rooted_phase5(self):
+        # The Hamiltonian-snake configuration from DESIGN.md's errata.
+        from repro.trees import dfs_spanning_tree
+
+        g = gen.grid(6, 7)
+        cfg = make_config(g, kind="dfs")
+        res = cycle_separator(cfg)
+        check_separator(g, res.path, cfg.tree)
+
+    def test_wheel_exercises_phase4(self):
+        cfg = make_config(gen.wheel(16))
+        res = cycle_separator(cfg)
+        check_separator(cfg.graph, res.path, cfg.tree)
+
+    def test_balance_guarantee_is_two_thirds(self):
+        worst = 0.0
+        for seed in range(5):
+            g = gen.delaunay(60, seed=seed)
+            cfg = make_config(g, seed=seed)
+            res = cycle_separator(cfg)
+            report = separator_report(g, res.path)
+            worst = max(worst, report.max_fraction)
+        assert worst <= 2 / 3 + 1e-9
+
+
+class TestMultiPart:
+    def test_partition_separators(self):
+        g = gen.grid(6, 6)
+        parts = [list(range(0, 12)), list(range(12, 24)), list(range(24, 36))]
+        results = compute_cycle_separators(g, parts)
+        for i, part in enumerate(parts):
+            sub = g.subgraph(part)
+            check_separator(sub, results[i].path)
+
+    def test_disconnected_part_rejected(self):
+        g = gen.grid(4, 4)
+        with pytest.raises(NotConnectedError):
+            compute_cycle_separators(g, [[0, 15]])
+
+    def test_with_ledger_charges_rounds(self):
+        g = gen.grid(6, 6)
+        parts = [list(range(0, 18)), list(range(18, 36))]
+        ledger = RoundLedger(CostModel(len(g), nx.diameter(g)))
+        compute_cycle_separators(g, parts, ledger=ledger)
+        assert ledger.total_rounds > 0
+        assert "mark-path" in ledger.by_subroutine
+
+
+class TestStress:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_planar_sweep(self, seed):
+        for density in (0.2, 0.5, 0.9):
+            g = gen.random_planar(45, density=density, seed=seed)
+            for kind, cfg in configs_for(g, root=seed % len(g), seed=seed):
+                res = cycle_separator(cfg)
+                check_separator(g, res.path, cfg.tree)

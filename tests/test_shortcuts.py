@@ -1,0 +1,138 @@
+"""Tests for shortcut structures and part-wise aggregation primitives."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest import CostModel, RoundLedger, bfs_run, convergecast_run
+from repro.planar import generators as gen
+from repro.shortcuts import (
+    ShortcutStructure,
+    ancestor_problem,
+    ancestor_sums,
+    build_shortcuts,
+    descendant_sums,
+    max_problem,
+    min_problem,
+    partwise_aggregate,
+    range_problem,
+    sum_subset_problem,
+    sum_tree_problem,
+)
+from repro.trees import bfs_tree
+
+
+def stripes(g, k):
+    nodes = sorted(g.nodes)
+    size = math.ceil(len(nodes) / k)
+    return [nodes[i: i + size] for i in range(0, len(nodes), size)]
+
+
+class TestShortcutStructure:
+    def test_edges_are_tree_edges(self):
+        g = gen.grid(6, 6)
+        tree = bfs_tree(g, 0)
+        sc = build_shortcuts(g, stripes(g, 4), tree)
+        tree_edges = {frozenset(e) for e in tree.edges()}
+        for edges in sc.edge_sets.values():
+            assert edges <= tree_edges
+
+    def test_quality_fields(self):
+        g = gen.grid(6, 6)
+        sc = build_shortcuts(g, stripes(g, 3))
+        c, d = sc.quality
+        assert c >= 1 and d >= 1
+
+    def test_congestion_counts_sharing(self):
+        g = gen.grid(4, 4)
+        tree = bfs_tree(g, 0)
+        # Every part includes a deep node, so root-adjacent edges are shared.
+        parts = [[15, 0], [14, 1], [13, 2]]
+        # parts must be disjoint node sets but need not induce anything here
+        sc = build_shortcuts(g, parts, tree)
+        assert sc.congestion >= 2
+
+    def test_planar_quality_shape(self):
+        # On grids, measured c + d should stay within a small multiple of
+        # D log D (the GH'16 planar bound).
+        for side in (6, 10):
+            g = gen.grid(side, side)
+            d = nx.diameter(g)
+            sc = build_shortcuts(g, stripes(g, side))
+            bound = 8 * d * max(1, math.ceil(math.log2(d + 1)))
+            assert sum(sc.quality) <= bound
+
+
+class TestPartwisePrimitives:
+    def setup_method(self):
+        self.g = gen.grid(5, 5)
+        self.parts = stripes(self.g, 3)
+        self.values = {v: (v * 7) % 23 for v in self.g.nodes}
+
+    def test_aggregate_sum(self):
+        out = partwise_aggregate(self.parts, self.values, lambda a, b: a + b)
+        assert out == [sum(self.values[v] for v in p) for p in self.parts]
+
+    def test_min_max_problaccording(self):
+        mins = min_problem(self.parts, self.values)
+        maxs = max_problem(self.parts, self.values)
+        for part, lo, hi in zip(self.parts, mins, maxs):
+            assert self.values[lo] == min(self.values[v] for v in part)
+            assert self.values[hi] == max(self.values[v] for v in part)
+
+    def test_sum_subset(self):
+        assert sum_subset_problem(self.parts) == [len(p) for p in self.parts]
+
+    def test_range_problem(self):
+        hits = range_problem(self.parts, self.values, 5, 9)
+        for part, hit in zip(self.parts, hits):
+            in_range = [v for v in part if 5 <= self.values[v] <= 9]
+            if in_range:
+                assert hit in in_range
+            else:
+                assert hit is None
+
+    def test_charges_ledger(self):
+        ledger = RoundLedger(CostModel(25, 8, shortcut_quality=(2, 5)))
+        min_problem(self.parts, self.values, ledger=ledger)
+        assert ledger.total_rounds == 2 * 7
+
+
+class TestTreeAggregations:
+    def test_sum_tree_matches_subtree_sizes(self):
+        tree = bfs_tree(gen.grid(4, 5), 0)
+        assert sum_tree_problem(tree) == tree.subtree_size
+
+    def test_ancestor_sums_definition(self):
+        tree = bfs_tree(gen.delaunay(30, seed=1), 0)
+        values = {v: 1 for v in tree.nodes}
+        sums = ancestor_sums(tree, values, lambda a, b: a + b)
+        assert all(sums[v] == tree.depth[v] + 1 for v in tree.nodes)
+
+    def test_descendant_sums_definition(self):
+        tree = bfs_tree(gen.delaunay(30, seed=1), 0)
+        values = {v: 1 for v in tree.nodes}
+        sums = descendant_sums(tree, values, lambda a, b: a + b)
+        assert sums == tree.subtree_size
+
+    def test_descendant_sums_match_message_level_convergecast(self):
+        """Cross-layer validation: the charged-layer descendant sum equals
+        the message-level convergecast on the same tree."""
+        g = gen.grid(5, 5)
+        res = bfs_run(g, 0)
+        parent = {v: out[1] for v, out in res.outputs.items()}
+        from repro.trees import RootedTree
+
+        tree = RootedTree(parent, 0)
+        values = {v: v % 5 for v in g.nodes}
+        charged = descendant_sums(tree, values, lambda a, b: a + b)
+        measured = convergecast_run(g, 0, values, parent)
+        assert measured.outputs[0] == charged[0]
+
+    def test_ancestor_problem(self):
+        tree = bfs_tree(gen.grid(4, 4), 0)
+        v0 = 10
+        flags = ancestor_problem(tree, v0)
+        for v in tree.nodes:
+            assert flags[v] == tree.is_ancestor(v0, v)

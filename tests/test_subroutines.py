@@ -1,0 +1,98 @@
+"""Tests for the Section 5.2 operational subroutines (Lemmas 11/13/14/19)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest import CostModel, RoundLedger
+from repro.core.subroutines import (
+    dfs_order_phases,
+    lca_problem,
+    mark_path_phases,
+    re_root,
+)
+from repro.planar import generators as gen
+from repro.trees import bfs_tree, dfs_spanning_tree
+
+from conftest import configs_for, make_config
+
+
+class TestDFSOrderPhases:
+    def test_matches_direct_orders(self):
+        for name, g in gen.FAMILIES(2):
+            for kind, cfg in configs_for(g, seed=2):
+                run = dfs_order_phases(cfg)
+                assert run.pi_left == cfg.pi_left, (name, kind)
+                assert run.pi_right == cfg.pi_right, (name, kind)
+
+    def test_phases_logarithmic_on_deep_trees(self):
+        # The whole point of Lemma 11: a path-shaped tree of depth n still
+        # finishes in O(log n) merge phases.
+        for n in (32, 128, 512):
+            g = gen.path_graph(n)
+            cfg = make_config(g)
+            run = dfs_order_phases(cfg)
+            assert run.phases <= math.ceil(math.log2(n)) + 1
+
+    def test_phases_counted_on_grid_dfs_tree(self):
+        g = gen.grid(7, 7)
+        cfg = make_config(g, kind="dfs")
+        depth = cfg.tree.height()
+        run = dfs_order_phases(cfg)
+        assert run.phases <= math.ceil(math.log2(depth + 1)) + 1
+
+    def test_charges_ledger_per_phase(self):
+        cfg = make_config(gen.grid(4, 4))
+        ledger = RoundLedger(CostModel(16, 6))
+        run = dfs_order_phases(cfg, ledger=ledger)
+        assert ledger.invocations["partwise-aggregation"] == 2 * run.phases
+
+
+class TestMarkPathPhases:
+    def test_marks_exactly_the_path(self):
+        cfg = make_config(gen.delaunay(40, seed=3), kind="dfs")
+        nodes = sorted(cfg.graph.nodes)
+        for u, v in [(nodes[0], nodes[-1]), (nodes[3], nodes[20])]:
+            run = mark_path_phases(cfg, u, v)
+            assert run.marked == cfg.tree.path(u, v)
+
+    def test_phase_budget_on_long_paths(self):
+        n = 300
+        cfg = make_config(gen.path_graph(n))
+        run = mark_path_phases(cfg, 0, n - 1)
+        assert run.phases <= math.ceil(math.log2(n)) + 1
+        assert run.iterations <= (math.ceil(math.log2(n)) + 1) * math.ceil(math.log2(n))
+
+    def test_trivial_paths(self):
+        cfg = make_config(gen.grid(3, 3))
+        run = mark_path_phases(cfg, 0, 0)
+        assert run.marked == [0]
+        u = cfg.tree.children[0][0]
+        run = mark_path_phases(cfg, 0, u)
+        assert run.marked == [0, u]
+
+
+class TestLCAProblem:
+    def test_matches_tree_lca(self):
+        cfg = make_config(gen.delaunay(30, seed=5), kind="rand", seed=5)
+        nodes = sorted(cfg.graph.nodes)
+        for u in nodes[::4]:
+            for v in nodes[::6]:
+                assert lca_problem(cfg, u, v) == cfg.tree.lca(u, v)
+
+    def test_charges_ledger(self):
+        cfg = make_config(gen.grid(3, 3))
+        ledger = RoundLedger(CostModel(9, 4))
+        lca_problem(cfg, 0, 8, ledger=ledger)
+        assert ledger.invocations["lca"] == 1
+
+
+class TestReRoot:
+    def test_matches_direct_reroot(self):
+        cfg = make_config(gen.grid(4, 5))
+        ledger = RoundLedger(CostModel(20, 7))
+        rerooted = re_root(cfg.tree, 13, ledger=ledger)
+        assert rerooted.root == 13
+        assert rerooted.depth == cfg.tree.reroot(13).depth
+        assert ledger.invocations["re-root"] == 1

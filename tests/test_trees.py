@@ -1,0 +1,196 @@
+"""Unit tests for the tree substrate (rooted trees, spanning, centroids)."""
+
+import networkx as nx
+import pytest
+
+from repro.planar import generators as gen
+from repro.trees import (
+    RootedTree,
+    TreeError,
+    bfs_tree,
+    boruvka_part_spanning_trees,
+    centroid,
+    dfs_spanning_tree,
+    phase2_separator_node,
+    random_spanning_tree,
+    subtree_in_range,
+)
+
+
+def sample_tree() -> RootedTree:
+    #        0
+    #      / | \
+    #     1  2  3
+    #    /|     |
+    #   4 5     6
+    #           |
+    #           7
+    return RootedTree({0: None, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 3, 7: 6}, 0)
+
+
+class TestRootedTree:
+    def test_depth_and_sizes(self):
+        t = sample_tree()
+        assert t.depth == {0: 0, 1: 1, 2: 1, 3: 1, 4: 2, 5: 2, 6: 2, 7: 3}
+        assert t.subtree_size[0] == 8
+        assert t.subtree_size[1] == 3
+        assert t.subtree_size[3] == 3
+        assert t.subtree_size[7] == 1
+
+    def test_ancestor(self):
+        t = sample_tree()
+        assert t.is_ancestor(0, 7)
+        assert t.is_ancestor(3, 7)
+        assert not t.is_ancestor(1, 7)
+        assert t.is_ancestor(5, 5)
+        assert not t.is_strict_ancestor(5, 5)
+
+    def test_lca_and_path(self):
+        t = sample_tree()
+        assert t.lca(4, 5) == 1
+        assert t.lca(4, 7) == 0
+        assert t.path(4, 5) == [4, 1, 5]
+        assert t.path(4, 7) == [4, 1, 0, 3, 6, 7]
+        assert t.path_length(4, 7) == 5
+        assert t.path(2, 2) == [2]
+
+    def test_first_step(self):
+        t = sample_tree()
+        assert t.first_step(0, 7) == 3
+        assert t.first_step(7, 0) == 6
+        assert t.first_step(4, 5) == 1
+        with pytest.raises(TreeError):
+            t.first_step(4, 4)
+
+    def test_leaves(self):
+        assert sorted(sample_tree().leaves()) == [2, 4, 5, 7]
+
+    def test_reroot_preserves_edges(self):
+        t = sample_tree()
+        r = t.reroot(7)
+        assert r.root == 7
+        assert sorted(map(tuple, map(sorted, r.edges()))) == sorted(
+            map(tuple, map(sorted, t.edges()))
+        )
+        assert r.depth[0] == 3
+        assert r.parent[6] == 7
+
+    def test_reroot_unknown_node(self):
+        with pytest.raises(TreeError):
+            sample_tree().reroot(99)
+
+    def test_deep_tree_is_iterative(self):
+        n = 50_000
+        parent = {0: None, **{i: i - 1 for i in range(1, n)}}
+        t = RootedTree(parent, 0)
+        assert t.depth[n - 1] == n - 1
+        assert t.subtree_size[0] == n
+        assert t.path_length(0, n - 1) == n - 1
+
+    def test_invalid_parent_maps(self):
+        with pytest.raises(TreeError):
+            RootedTree({0: None, 1: None}, 0)  # two roots
+        with pytest.raises(TreeError):
+            RootedTree({0: None, 1: 9}, 0)  # parent not a node
+        with pytest.raises(TreeError):
+            RootedTree({0: 1, 1: 0}, 0)  # root has a parent
+
+    def test_from_graph_and_edges(self):
+        g = nx.path_graph(5)
+        t = RootedTree.from_graph(g, 2)
+        assert t.depth[0] == 2 and t.depth[4] == 2
+        with pytest.raises(TreeError):
+            RootedTree.from_graph(nx.cycle_graph(4), 0)
+
+
+class TestSpanning:
+    def test_bfs_tree_depths_are_distances(self):
+        g = gen.grid(5, 6)
+        t = bfs_tree(g, 0)
+        dist = nx.single_source_shortest_path_length(g, 0)
+        assert all(t.depth[v] == dist[v] for v in g.nodes)
+
+    def test_dfs_tree_is_deep_on_grid(self):
+        g = gen.grid(5, 6)
+        assert dfs_spanning_tree(g, 0).height() > bfs_tree(g, 0).height()
+
+    def test_random_spanning_tree_spans(self):
+        g = gen.delaunay(35, seed=3)
+        t = random_spanning_tree(g, 5, seed=11)
+        assert set(t.nodes) == set(g.nodes)
+        assert all(g.has_edge(p, c) for p, c in t.edges())
+
+    def test_disconnected_raises(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(TreeError):
+            bfs_tree(g, 0)
+        with pytest.raises(TreeError):
+            dfs_spanning_tree(g, 0)
+
+
+class TestBoruvka:
+    def test_parts_are_spanned(self):
+        g = gen.grid(6, 6)
+        parts = [list(range(0, 18)), list(range(18, 36))]
+        res = boruvka_part_spanning_trees(g, parts)
+        for i, part in enumerate(parts):
+            t = res.trees[i]
+            assert set(t.nodes) == set(part)
+            assert all(g.has_edge(p, c) for p, c in t.edges())
+
+    def test_logarithmic_phases(self):
+        g = gen.grid(8, 8)
+        res = boruvka_part_spanning_trees(g, [list(g.nodes)])
+        assert res.phases <= 7  # ceil(log2 64) + 1
+
+    def test_singleton_part(self):
+        g = gen.grid(3, 3)
+        res = boruvka_part_spanning_trees(g, [[4], [0, 1, 2]])
+        assert len(res.trees[0]) == 1
+
+    def test_disconnected_part_raises(self):
+        g = gen.grid(3, 3)
+        with pytest.raises(TreeError):
+            boruvka_part_spanning_trees(g, [[0, 8]])
+
+    def test_overlapping_parts_raise(self):
+        g = gen.grid(3, 3)
+        with pytest.raises(ValueError):
+            boruvka_part_spanning_trees(g, [[0, 1], [1, 2]])
+
+    def test_custom_roots(self):
+        g = gen.grid(4, 4)
+        res = boruvka_part_spanning_trees(g, [list(g.nodes)], roots={0: 7})
+        assert res.trees[0].root == 7
+
+
+class TestCentroid:
+    def test_path_graph_centroid_is_middle(self):
+        t = bfs_tree(nx.path_graph(9), 0)
+        c = centroid(t)
+        assert c == 4
+
+    def test_centroid_halves_components(self):
+        for seed in range(5):
+            g = gen.random_tree(40, seed=seed)
+            t = bfs_tree(g, 0)
+            c = centroid(t)
+            rest = g.subgraph(set(g.nodes) - {c})
+            assert all(2 * len(comp) <= 40 for comp in nx.connected_components(rest))
+
+    def test_subtree_in_range(self):
+        t = bfs_tree(nx.path_graph(9), 0)
+        v = subtree_in_range(t, 9, 18)  # [n/3, 2n/3] scaled by 3
+        assert v is not None
+        assert 9 <= 3 * t.subtree_size[v] <= 18
+
+    def test_star_needs_fallback(self):
+        t = bfs_tree(gen.star_graph(12), 0)
+        v0, rule = phase2_separator_node(t)
+        assert rule == "centroid-fallback"
+        assert v0 == 0
+
+    def test_paper_rule_when_possible(self):
+        t = bfs_tree(nx.path_graph(12), 0)
+        _, rule = phase2_separator_node(t)
+        assert rule == "paper-range"

@@ -1,0 +1,69 @@
+"""Tests for the validity checkers themselves (they must catch bad artifacts)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.verify import (
+    VerificationError,
+    check_dfs_tree,
+    check_separator,
+    separator_report,
+)
+from repro.planar import generators as gen
+from repro.trees import bfs_tree
+
+
+class TestSeparatorChecks:
+    def test_report_components(self):
+        g = nx.path_graph(7)
+        report = separator_report(g, [3])
+        assert report.components == [3, 3]
+        assert report.balanced
+        assert report.max_fraction == pytest.approx(3 / 7)
+
+    def test_unbalanced_detected(self):
+        g = nx.path_graph(9)
+        with pytest.raises(VerificationError):
+            check_separator(g, [8])  # leaves a component of 8 > 6
+
+    def test_non_tree_path_detected(self):
+        g = gen.grid(3, 3)
+        tree = bfs_tree(g, 0)
+        # {0, 4} is balanced but not a contiguous T-path.
+        with pytest.raises(VerificationError):
+            check_separator(g, [0, 4], tree)
+
+    def test_unknown_nodes_detected(self):
+        g = nx.path_graph(4)
+        with pytest.raises(VerificationError):
+            separator_report(g, [99])
+
+    def test_full_separator_is_fine(self):
+        g = nx.cycle_graph(4)
+        report = separator_report(g, list(g.nodes))
+        assert report.balanced and report.max_fraction == 0.0
+
+
+class TestDFSChecks:
+    def test_accepts_real_dfs_tree(self):
+        g = gen.delaunay(30, seed=1)
+        from repro.baselines import centralized_dfs
+
+        check_dfs_tree(g, centralized_dfs(g, 0), 0)
+
+    def test_rejects_bfs_tree_with_cross_edges(self):
+        g = nx.cycle_graph(5)
+        tree = bfs_tree(g, 0)
+        # BFS of a 5-cycle has a cross edge between the two depth-2 nodes.
+        with pytest.raises(VerificationError):
+            check_dfs_tree(g, dict(tree.parent), 0)
+
+    def test_rejects_non_spanning(self):
+        g = nx.path_graph(4)
+        with pytest.raises(VerificationError):
+            check_dfs_tree(g, {0: None, 1: 0}, 0)
+
+    def test_rejects_non_graph_edges(self):
+        g = nx.path_graph(4)
+        with pytest.raises(VerificationError):
+            check_dfs_tree(g, {0: None, 1: 0, 2: 1, 3: 1}, 0)

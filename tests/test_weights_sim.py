@@ -1,0 +1,50 @@
+"""Tests for the message-level WEIGHTS-PROBLEM (repro.congest.weights_sim)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import weights_problem_run
+from repro.core.config import PlanarConfiguration
+from repro.core.faces import face_view
+from repro.core.weights import weight
+from repro.planar import generators as gen
+
+from conftest import configs_for, make_config
+
+
+class TestMessageLevelWeights:
+    def test_orders_match_charged_layer(self):
+        for name, g in gen.FAMILIES(3):
+            for kind, cfg in configs_for(g, seed=3):
+                run = weights_problem_run(cfg)
+                assert {v: run.orders[v][0] for v in g.nodes} == cfg.pi_left
+                assert {v: run.orders[v][1] for v in g.nodes} == cfg.pi_right
+                assert {v: run.orders[v][2] for v in g.nodes} == cfg.tree.depth
+
+    def test_weights_match_charged_layer(self):
+        for name, g in gen.FAMILIES(1):
+            if g.number_of_edges() < len(g):
+                continue
+            for kind, cfg in configs_for(g, seed=1):
+                run = weights_problem_run(cfg)
+                for e in cfg.real_fundamental_edges():
+                    assert run.weights[cfg.orient(e)] == weight(
+                        cfg, face_view(cfg, e)
+                    ), (name, kind, e)
+
+    def test_rounds_track_tree_height(self):
+        # BFS configuration: O(D) rounds; DFS snake: Θ(n).
+        g = gen.grid(8, 8)
+        shallow = make_config(g, kind="bfs")
+        deep = make_config(g, kind="dfs")
+        run_shallow = weights_problem_run(shallow)
+        run_deep = weights_problem_run(deep)
+        assert run_shallow.rounds <= 2 * shallow.tree.height() + 8
+        assert run_deep.rounds >= deep.tree.height()
+        assert run_deep.rounds > 3 * run_shallow.rounds  # the Lemma-11 motivation
+
+    def test_tree_input_has_no_weights(self):
+        cfg = make_config(gen.random_tree(25, seed=2))
+        run = weights_problem_run(cfg)
+        assert run.weights == {}
+        assert run.rounds > 0
