@@ -4,11 +4,20 @@ Not tied to a paper claim — this is the operational profile a downstream
 user cares about: how long the embedding, configuration, weight sweep,
 separator and DFS take at a representative size.  Regressions here flag
 accidental quadratic behaviour in the face machinery.
+
+Also home of the CONGEST scheduler A/B: the active-set dispatch vs the
+legacy dense (every node, every round) dispatch on a sparse-activity
+workload — a single-source BFS wavefront on a long path, where at any
+moment only the frontier plus a small quiet-countdown window has work.
 """
+
+import time
 
 import networkx as nx
 
+from _common import emit
 from repro.applications import biconnectivity
+from repro.congest import Network, RoundTrace
 from repro.core.config import PlanarConfiguration
 from repro.core.dfs import dfs_tree
 from repro.core.faces import face_view
@@ -24,6 +33,75 @@ GRAPH = gen.delaunay(N, seed=7)
 ROTATION = embed(GRAPH)
 CONFIG = PlanarConfiguration.build(GRAPH, root=0)
 EDGES = CONFIG.real_fundamental_edges()
+
+# -- CONGEST scheduler A/B -------------------------------------------------
+
+WAVE_N = 50_000       # path length: the ISSUE's sparse-activity workload
+WAVE_ROUNDS = 60      # capped so the dense dispatch finishes in bench time
+
+
+def _wavefront_program(slack: int = 4):
+    """BFS wavefront (the bfs_run program, inlined for scheduler control)."""
+
+    def init(ctx):
+        ctx.state["dist"] = 0 if ctx.node == 0 else None
+        ctx.state["parent"] = None
+        ctx.state["announced"] = False
+        ctx.state["quiet"] = 0
+
+    def on_round(ctx, inbox):
+        for sender, payload in inbox.items():
+            dist = payload[0]
+            if ctx.state["dist"] is None or dist + 1 < ctx.state["dist"]:
+                ctx.state["dist"] = dist + 1
+                ctx.state["parent"] = sender
+                ctx.state["announced"] = False
+        if ctx.state["dist"] is not None and not ctx.state["announced"]:
+            ctx.state["announced"] = True
+            ctx.state["quiet"] = 0
+            ctx.wake()
+            return {u: (ctx.state["dist"],) for u in ctx.neighbors}
+        ctx.state["quiet"] += 1
+        if ctx.state["dist"] is not None:
+            if ctx.state["quiet"] >= slack:
+                ctx.halt((ctx.state["dist"], ctx.state["parent"]))
+            else:
+                ctx.wake()
+        return None
+
+    return init, on_round
+
+
+def _run_wavefront(net: Network, scheduler: str):
+    init, on_round = _wavefront_program()
+    return net.run(init, on_round, max_rounds=WAVE_ROUNDS, scheduler=scheduler)
+
+
+def scheduler_speedup_rows(n: int = WAVE_N):
+    """Time both dispatch strategies on the same wavefront; assert parity."""
+    net = Network(gen.path_graph(n))
+    rows = []
+    elapsed = {}
+    results = {}
+    for scheduler in ("dense", "active"):
+        t0 = time.perf_counter()
+        results[scheduler] = _run_wavefront(net, scheduler)
+        elapsed[scheduler] = time.perf_counter() - t0
+    for scheduler in ("dense", "active"):
+        res = results[scheduler]
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "n": n,
+                "rounds": res.rounds,
+                "messages": res.messages_sent,
+                "seconds": round(elapsed[scheduler], 4),
+                "speedup": round(elapsed["dense"] / elapsed[scheduler], 2),
+            }
+        )
+    assert results["dense"].rounds == results["active"].rounds
+    assert results["dense"].messages_sent == results["active"].messages_sent
+    return rows
 
 
 def test_micro_embedding(benchmark):
@@ -68,3 +146,40 @@ def test_micro_dfs_order_phases(benchmark):
 def test_micro_biconnectivity(benchmark):
     small = gen.random_planar(250, density=0.5, seed=7)
     benchmark(lambda: biconnectivity(small))
+
+
+def test_micro_scheduler_speedup(benchmark):
+    """Acceptance gate: the active-set scheduler must beat the dense
+    dispatch by >= 2x on the sparse-activity wavefront; the measured ratio
+    is recorded in benchmarks/results/scheduler_speedup.txt."""
+    rows = scheduler_speedup_rows()
+    emit("scheduler_speedup.txt", rows,
+         f"Active-set vs dense dispatch - BFS wavefront on a {WAVE_N}-node path")
+    active = next(r for r in rows if r["scheduler"] == "active")
+    assert active["speedup"] >= 2.0, rows
+
+    net = Network(gen.path_graph(5000))
+    benchmark(lambda: _run_wavefront(net, "active"))
+
+
+def test_micro_trace_overhead_bounded(benchmark):
+    """Tracing is opt-in; when on, it must stay within ~3x of untraced."""
+    net = Network(gen.path_graph(3000))
+
+    def traced():
+        return _run_wavefront(net, "active"), RoundTrace()
+
+    t0 = time.perf_counter()
+    _run_wavefront(net, "active")
+    bare = time.perf_counter() - t0
+    init, on_round = _wavefront_program()
+    t0 = time.perf_counter()
+    net.run(init, on_round, max_rounds=WAVE_ROUNDS, trace=RoundTrace())
+    with_trace = time.perf_counter() - t0
+    assert with_trace <= max(3 * bare, bare + 0.05)
+    benchmark(traced)
+
+
+if __name__ == "__main__":
+    emit("scheduler_speedup.txt", scheduler_speedup_rows(),
+         f"Active-set vs dense dispatch - BFS wavefront on a {WAVE_N}-node path")

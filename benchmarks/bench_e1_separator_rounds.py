@@ -10,6 +10,7 @@ import networkx as nx
 
 from _common import emit
 from repro.analysis import experiments
+from repro.congest import RoundTrace, bfs_run
 from repro.core.config import PlanarConfiguration
 from repro.core.separator import cycle_separator
 from repro.planar import generators as gen
@@ -17,9 +18,37 @@ from repro.planar import generators as gen
 SIZES = (100, 225, 400, 900, 1600)
 
 
+def bfs_trace_rows(sizes=(100, 400, 1600)):
+    """The message-level anchor of the charged layer under RoundTrace: the
+    BFS-tree construction every separator instance starts from.  Active-set
+    dispatch keeps the per-round work at the frontier, and the word
+    histogram confirms single-word frontier messages."""
+    rows = []
+    for n in sizes:
+        g = gen.delaunay(n, seed=0)
+        trace = RoundTrace()
+        res = bfs_run(g, 0, trace=trace)
+        s = trace.summary()
+        rows.append(
+            {
+                "n": n,
+                "rounds": res.rounds,
+                "messages": res.messages_sent,
+                "peak_active": s["peak_active"],
+                "mean_active": round(s["mean_active"], 2),
+                "max_words": s["max_words"],
+            }
+        )
+        assert s["max_words"] == 1  # a frontier message is one word
+        assert s["dropped"] == 0
+    return rows
+
+
 def test_e1_separator_rounds(benchmark):
     rows = experiments.e1_separator_rounds(sizes=SIZES)
     emit("e1_separator_rounds.txt", rows, "E1 - separator charged rounds vs n (Thm 1)")
+    emit("e1_bfs_trace.txt", bfs_trace_rows(),
+         "E1 - BFS-tree construction under RoundTrace (frontier active sets)")
     by_family = {}
     for row in rows:
         by_family.setdefault(row["family"], []).append(row)
@@ -38,3 +67,5 @@ def test_e1_separator_rounds(benchmark):
 if __name__ == "__main__":
     emit("e1_separator_rounds.txt", experiments.e1_separator_rounds(sizes=SIZES),
          "E1 - separator charged rounds vs n (Thm 1)")
+    emit("e1_bfs_trace.txt", bfs_trace_rows(),
+         "E1 - BFS-tree construction under RoundTrace (frontier active sets)")

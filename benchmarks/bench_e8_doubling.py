@@ -8,14 +8,44 @@ subroutines instead of walking the tree.
 
 from _common import emit
 from repro.analysis import experiments
+from repro.congest import RoundTrace, fragment_merge_run
 from repro.core.config import PlanarConfiguration
 from repro.core.subroutines import dfs_order_phases
 from repro.planar import generators as gen
+from repro.trees import bfs_tree
+
+
+def fragment_trace_rows(sizes=(128, 512)):
+    """The merge dynamic under RoundTrace: one trace spans every flood pass
+    (one Network.run per iteration), and the active set tracks the joining
+    fragments rather than the whole graph."""
+    rows = []
+    for n in sizes:
+        g = gen.path_graph(n)
+        trace = RoundTrace()
+        run = fragment_merge_run(g, bfs_tree(g, 0), trace=trace)
+        s = trace.summary()
+        rows.append(
+            {
+                "n": n,
+                "iterations": run.iterations,
+                "rounds": run.rounds,
+                "flood_passes": s["runs"],
+                "messages": s["messages"],
+                "peak_active": s["peak_active"],
+                "mean_active": round(s["mean_active"], 2),
+            }
+        )
+        assert s["runs"] == run.iterations  # one flood pass per merge
+        assert s["max_words"] <= 2          # (new_id, old_id)
+    return rows
 
 
 def test_e8_doubling(benchmark):
     rows = experiments.e8_doubling()
     emit("e8_doubling.txt", rows, "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
+    emit("e8_fragment_trace.txt", fragment_trace_rows(),
+         "E8 - fragment merging under RoundTrace (per-pass message profile)")
     for row in rows:
         assert row["order_phases"] <= row["log2n"] + 1, row
         assert row["markpath_phases"] <= row["log2n"] + 1, row
@@ -27,3 +57,5 @@ def test_e8_doubling(benchmark):
 if __name__ == "__main__":
     emit("e8_doubling.txt", experiments.e8_doubling(),
          "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
+    emit("e8_fragment_trace.txt", fragment_trace_rows(),
+         "E8 - fragment merging under RoundTrace (per-pass message profile)")

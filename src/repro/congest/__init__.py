@@ -7,7 +7,14 @@ from .fragments_sim import FragmentRun, MarkPathMergeRun, fragment_merge_run, ma
 from .mst import MSTRun, boruvka_mst_run
 from .partwise_sim import PartwiseRun, partwise_aggregation_run, partwise_broadcast_run
 from .weights_sim import WeightsRun, weights_problem_run
-from .network import CongestViolation, Network, NodeContext, RunResult
+from .network import (
+    CongestViolation,
+    Network,
+    NodeContext,
+    RunResult,
+    payload_words,
+)
+from .trace import RoundRecord, RoundTrace, read_jsonl
 
 __all__ = [
     "CongestViolation",
@@ -20,6 +27,8 @@ __all__ = [
     "Network",
     "NodeContext",
     "RoundLedger",
+    "RoundRecord",
+    "RoundTrace",
     "RunResult",
     "awerbuch_dfs",
     "awerbuch_dfs_run",
@@ -29,6 +38,8 @@ __all__ = [
     "mark_path_merge_run",
     "partwise_aggregation_run",
     "partwise_broadcast_run",
+    "payload_words",
+    "read_jsonl",
     "weights_problem_run",
     "broadcast_run",
     "convergecast_run",

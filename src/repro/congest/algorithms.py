@@ -14,13 +14,19 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 import networkx as nx
 
 from .network import Network, NodeContext, RunResult
+from .trace import RoundTrace
 
 Node = Hashable
 
 __all__ = ["bfs_run", "broadcast_run", "convergecast_run"]
 
 
-def bfs_run(graph: nx.Graph, root: Node, slack: int = 4) -> RunResult:
+def bfs_run(
+    graph: nx.Graph,
+    root: Node,
+    slack: int = 4,
+    trace: Optional[RoundTrace] = None,
+) -> RunResult:
     """Distributed BFS from ``root``.
 
     Each node's output is ``(distance, parent)``.  Terminates in
@@ -44,13 +50,19 @@ def bfs_run(graph: nx.Graph, root: Node, slack: int = 4) -> RunResult:
         if ctx.state["dist"] is not None and not ctx.state["announced"]:
             ctx.state["announced"] = True
             ctx.state["quiet"] = 0
+            ctx.wake()  # keep counting quiet rounds after announcing
             return {u: (ctx.state["dist"],) for u in ctx.neighbors}
         ctx.state["quiet"] += 1
-        if ctx.state["dist"] is not None and ctx.state["quiet"] >= slack:
-            ctx.halt((ctx.state["dist"], ctx.state["parent"]))
+        if ctx.state["dist"] is not None:
+            if ctx.state["quiet"] >= slack:
+                ctx.halt((ctx.state["dist"], ctx.state["parent"]))
+            else:
+                ctx.wake()
         return None
 
-    return Network(graph).run(init, on_round, max_rounds=4 * len(graph) + 16)
+    return Network(graph).run(
+        init, on_round, max_rounds=4 * len(graph) + 16, trace=trace
+    )
 
 
 def broadcast_run(
@@ -58,6 +70,7 @@ def broadcast_run(
     root: Node,
     value: int,
     parent: Dict[Node, Optional[Node]],
+    trace: Optional[RoundTrace] = None,
 ) -> RunResult:
     """Downcast ``value`` from ``root`` along a known spanning tree.
 
@@ -85,12 +98,16 @@ def broadcast_run(
             sends = {c: (ctx.state["value"],) for c in children[ctx.node]}
             if not children[ctx.node]:
                 ctx.halt(ctx.state["value"])
+            else:
+                ctx.wake()  # come back next round to halt
             return sends
         if ctx.state["sent"]:
             ctx.halt(ctx.state["value"])
         return None
 
-    return Network(graph).run(init, on_round, max_rounds=2 * len(graph) + 8)
+    return Network(graph).run(
+        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace
+    )
 
 
 def convergecast_run(
@@ -99,6 +116,7 @@ def convergecast_run(
     values: Dict[Node, int],
     parent: Dict[Node, Optional[Node]],
     combine: Callable[[int, int], int] = lambda a, b: a + b,
+    trace: Optional[RoundTrace] = None,
 ) -> RunResult:
     """Aggregate ``values`` up a known spanning tree (sum by default).
 
@@ -127,4 +145,6 @@ def convergecast_run(
             return {p: (ctx.state["acc"],)}
         return None
 
-    return Network(graph).run(init, on_round, max_rounds=2 * len(graph) + 8)
+    return Network(graph).run(
+        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace
+    )

@@ -18,6 +18,7 @@ from typing import Any, Dict, Hashable, Optional, Tuple
 import networkx as nx
 
 from .network import Network, NodeContext, RunResult
+from .trace import RoundTrace
 
 Node = Hashable
 
@@ -29,7 +30,9 @@ _TOKEN = 1    # DFS token, forwarding the search
 _RETURN = 2   # token returning to the parent
 
 
-def awerbuch_dfs_run(graph: nx.Graph, root: Node) -> RunResult:
+def awerbuch_dfs_run(
+    graph: nx.Graph, root: Node, trace: Optional[RoundTrace] = None
+) -> RunResult:
     """Run Awerbuch's DFS; each node outputs ``(parent, depth)``."""
 
     def init(ctx: NodeContext) -> None:
@@ -72,6 +75,7 @@ def awerbuch_dfs_run(graph: nx.Graph, root: Node) -> RunResult:
             # Notification round: tell everyone we are visited; hold the
             # token for one round so neighbors mark us before it moves.
             state["pending_notify"] = False
+            ctx.wake()  # still holding the token: forward it next round
             for u in ctx.neighbors:
                 sends[u] = (_VISITED,)
             return sends
@@ -95,12 +99,15 @@ def awerbuch_dfs_run(graph: nx.Graph, root: Node) -> RunResult:
         return None
 
     network = Network(graph)
-    result = network.run(init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize)
+    result = network.run(
+        init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize,
+        trace=trace,
+    )
     return result
 
 
 def _finalize(ctx: NodeContext) -> Tuple[Optional[Node], Optional[int]]:
-    if ctx.output is not None:
+    if ctx.output_set:
         return ctx.output
     return (ctx.state.get("parent"), ctx.state.get("depth"))
 

@@ -28,6 +28,7 @@ import networkx as nx
 
 from ..trees.rooted import RootedTree
 from .network import Network, NodeContext
+from .trace import RoundTrace
 
 Node = Hashable
 
@@ -73,6 +74,7 @@ def _flood_fragment_ids(
     tree: RootedTree,
     fragment: Dict[Node, Node],
     updates: Dict[Node, Node],
+    trace: Optional[RoundTrace] = None,
 ) -> int:
     """Flood new fragment ids from the re-pointed roots; returns rounds.
 
@@ -113,6 +115,7 @@ def _flood_fragment_ids(
         max_rounds=2 * len(graph) + 8,
         finalize=lambda ctx: ctx.state["frag"],
         stop_when_quiet=True,
+        trace=trace,
     )
     for v, frag in result.outputs.items():
         fragment[v] = frag
@@ -123,6 +126,7 @@ def fragment_merge_run(
     graph: nx.Graph,
     tree: RootedTree,
     stop: Optional[Tuple[Node, Node]] = None,
+    trace: Optional[RoundTrace] = None,
 ) -> FragmentRun | MarkPathMergeRun:
     """Run the odd-depth merge dynamic; optionally stop at a coalescence.
 
@@ -161,7 +165,7 @@ def fragment_merge_run(
             target = resolved.get(target, target)
             updates[r] = target
             resolved[r] = target
-        rounds += _flood_fragment_ids(graph, tree, fragment, updates)
+        rounds += _flood_fragment_ids(graph, tree, fragment, updates, trace=trace)
         if stop is not None and fragment[stop[0]] == fragment[stop[1]]:
             # The merge edge: the first path edge whose endpoints were in
             # different fragments before this iteration and are united now
@@ -183,8 +187,9 @@ def mark_path_merge_run(
     tree: RootedTree,
     u: Node,
     v: Node,
+    trace: Optional[RoundTrace] = None,
 ) -> MarkPathMergeRun:
     """Lemma 13's first phase: merge until ``u`` and ``v`` coalesce."""
-    run = fragment_merge_run(graph, tree, stop=(u, v))
+    run = fragment_merge_run(graph, tree, stop=(u, v), trace=trace)
     assert isinstance(run, MarkPathMergeRun)
     return run

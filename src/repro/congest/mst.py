@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 import networkx as nx
 
 from .network import Network, NodeContext, RunResult
+from .trace import RoundTrace
 
 Node = Hashable
 EdgeKey = Tuple[float, str, str]
@@ -67,6 +68,7 @@ def _edge_key(graph: nx.Graph, a: Node, b: Node) -> EdgeKey:
 def _flood_leaders(
     graph: nx.Graph,
     fragment_edges: Set[FrozenSet[Node]],
+    trace: Optional[RoundTrace] = None,
 ) -> Tuple[Dict[Node, Node], int]:
     """Pass 1: flood the (repr-) smallest member along fragment edges."""
 
@@ -95,6 +97,7 @@ def _flood_leaders(
         max_rounds=2 * len(graph) + 8,
         finalize=lambda ctx: ctx.state["leader"],
         stop_when_quiet=True,
+        trace=trace,
     )
     return dict(result.outputs), result.rounds
 
@@ -103,6 +106,7 @@ def _exchange_and_moe(
     graph: nx.Graph,
     leader: Dict[Node, Node],
     fragment_edges: Set[FrozenSet[Node]],
+    trace: Optional[RoundTrace] = None,
 ) -> Tuple[Dict[Node, Optional[Tuple[EdgeKey, Node, Node]]], int]:
     """Passes 2+3: learn neighbor fragments, convergecast the MOE.
 
@@ -162,14 +166,16 @@ def _exchange_and_moe(
                 return {up: (best[0], best[1], best[2])}
         return None
 
-    result = Network(graph, max_words=8).run(init, on_round, max_rounds=2 * len(graph) + 8)
+    result = Network(graph, max_words=8).run(
+        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace
+    )
     moes = {
         v: result.outputs[v] for v in graph.nodes if leader[v] == v
     }
     return moes, result.rounds + 1  # +1 for the neighbor-exchange round
 
 
-def boruvka_mst_run(graph: nx.Graph) -> MSTRun:
+def boruvka_mst_run(graph: nx.Graph, trace: Optional[RoundTrace] = None) -> MSTRun:
     """Run message-level Borůvka to completion.
 
     Requires a connected graph; weights default to 1 with edge-ID
@@ -183,11 +189,11 @@ def boruvka_mst_run(graph: nx.Graph) -> MSTRun:
     phases = 0
     rounds = 0
     while True:
-        leader, flood_rounds = _flood_leaders(graph, fragment_edges)
+        leader, flood_rounds = _flood_leaders(graph, fragment_edges, trace=trace)
         rounds += flood_rounds
         if len(set(leader.values())) == 1:
             break
-        moes, moe_rounds = _exchange_and_moe(graph, leader, fragment_edges)
+        moes, moe_rounds = _exchange_and_moe(graph, leader, fragment_edges, trace=trace)
         rounds += moe_rounds
         phases += 1
         added = False

@@ -8,28 +8,109 @@ synchronization and per-message bandwidth accounting are real, so measured
 round counts are model-accurate for the primitives implemented at this
 level (BFS, broadcast, convergecast, Awerbuch's DFS).
 
-Bandwidth accounting: payloads are tuples of identifiers/integers; each
-word costs :math:`\\lceil \\log_2 n \\rceil` bits and the run reports the
-maximum words per message, so a bandwidth violation is visible instead of
-silently ignored.
+Bandwidth accounting: a *word* is :math:`\\lceil \\log_2 n \\rceil` bits.
+:func:`payload_words` charges every payload its true word cost — integers
+by bit length, strings by length, containers by the sum of their parts —
+and unknown payload types raise :class:`CongestViolation` instead of being
+smuggled through at a flat rate.  Exceeding the per-message budget raises
+as well, so a bandwidth violation is visible instead of silently ignored.
+
+Scheduling: :meth:`Network.run` is an *active-set* scheduler over a
+node→integer index and CSR adjacency arrays built once per
+:class:`Network`.  Round 1 dispatches every node (the classic synchronous
+start); afterwards a node runs only when it has mail or has asked to be
+woken via :meth:`NodeContext.wake`.  A node with timer-like behaviour
+(acting on rounds where it receives nothing) must therefore call ``wake()``
+— message- and halt-driven protocols need no change.  On sparse-activity
+workloads this turns O(n · rounds) dispatch into O(messages + active).
+The legacy every-node-every-round dispatch is kept as
+``scheduler="dense"`` for A/B measurement; both schedulers produce
+identical results and round counts for programs honouring the wake
+contract (asserted by the regression suite).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+import math
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
+from .trace import RoundTrace
+
 Node = Hashable
 
-__all__ = ["NodeContext", "Network", "RunResult", "CongestViolation"]
+__all__ = [
+    "NodeContext",
+    "Network",
+    "RunResult",
+    "CongestViolation",
+    "payload_words",
+    "MAX_WORDS_PER_MESSAGE",
+    "DEFAULT_WORD_BITS",
+]
 
 # Permissive default: a CONGEST message is O(log n) bits = O(1) words.
 MAX_WORDS_PER_MESSAGE = 8
 
+# Word width used when payload_words is called standalone (a generous
+# 32-bit identifier word); a Network derives its own from ceil(log2 n).
+DEFAULT_WORD_BITS = 32
+
+# Sentinel distinguishing "halted without recording an output" from a
+# legitimate recorded output of None.
+_UNSET = object()
+
 
 class CongestViolation(RuntimeError):
-    """A node program sent a message exceeding the bandwidth budget."""
+    """A node program broke the model: oversized or untyped payload, or a
+    message to a non-neighbor."""
+
+
+def payload_words(payload: Any, word_bits: int = DEFAULT_WORD_BITS) -> int:
+    """Word cost of a message payload, one word = ``word_bits`` bits.
+
+    Costing rules (every non-``None`` payload costs at least one word):
+
+    * ``None`` — 0 words (the absence of a field);
+    * ``bool`` / ``int`` — ``ceil(bit_length / word_bits)`` words;
+    * ``float`` — 1 word (a weight or measure, assumed :math:`O(\\log n)`
+      bits as standard for weighted CONGEST);
+    * ``str`` — ``ceil(len / word_bits)`` words;
+    * ``bytes`` — ``ceil(8·len / word_bits)`` words;
+    * ``list`` / ``tuple`` / ``set`` / ``frozenset`` — sum of element costs;
+    * ``dict`` — sum of key costs plus value costs;
+    * anything else raises :class:`CongestViolation` — unknown types have
+      no defensible encoding and must not ride through at a flat rate.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, int):  # covers bool
+        return max(1, -(-payload.bit_length() // word_bits))
+    if isinstance(payload, float):
+        return 1
+    if isinstance(payload, str):
+        return max(1, -(-len(payload) // word_bits))
+    if isinstance(payload, bytes):
+        return max(1, -(-(8 * len(payload)) // word_bits))
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return max(1, sum(payload_words(x, word_bits) for x in payload))
+    if isinstance(payload, dict):
+        return max(
+            1,
+            sum(
+                payload_words(k, word_bits) + payload_words(v, word_bits)
+                for k, v in payload.items()
+            ),
+        )
+    raise CongestViolation(
+        f"payload of type {type(payload).__name__} has no CONGEST word cost: "
+        f"{payload!r}"
+    )
+
+
+# Backwards-compatible private alias (historical name).
+_payload_words = payload_words
 
 
 class NodeContext:
@@ -46,9 +127,14 @@ class NodeContext:
     halted:
         Set via :meth:`halt`; a halted node sends nothing and the run ends
         when every node has halted.
+    output:
+        The output recorded at halt time (``None`` until then).
+    output_set:
+        Whether :meth:`halt` recorded an output — distinguishes a halt
+        with a legitimate ``None`` output from never setting one.
     """
 
-    __slots__ = ("node", "neighbors", "state", "halted", "output")
+    __slots__ = ("node", "neighbors", "state", "halted", "output", "output_set", "_wake")
 
     def __init__(self, node: Node, neighbors: Tuple[Node, ...]):
         self.node = node
@@ -56,12 +142,25 @@ class NodeContext:
         self.state: Dict[str, Any] = {}
         self.halted = False
         self.output: Any = None
+        self.output_set = False
+        self._wake = False
 
-    def halt(self, output: Any = None) -> None:
-        """Stop participating; record this node's output."""
+    def halt(self, output: Any = _UNSET) -> None:
+        """Stop participating; record this node's output (``None`` counts)."""
         self.halted = True
-        if output is not None:
+        if output is not _UNSET:
             self.output = output
+            self.output_set = True
+
+    def wake(self) -> None:
+        """Ask the scheduler to run this node next round even without mail.
+
+        The active-set scheduler dispatches a node only when it has mail;
+        a program that acts on silent rounds (timers, quiescence counters,
+        multi-round pipelines) calls this each round it needs to stay
+        scheduled.  A halted node is never rescheduled.
+        """
+        self._wake = True
 
 
 class RunResult:
@@ -74,32 +173,48 @@ class RunResult:
     outputs:
         Node -> output recorded at halt time (or final state hook).
     messages_sent:
-        Total messages delivered.
+        Total messages sent (including any dropped on delivery to halted
+        nodes — the sender paid for them).
     max_words:
         Maximum payload words observed in any single message.
+    stop_reason:
+        Why the run ended: ``"halted"`` (every node halted), ``"quiet"``
+        (``stop_when_quiet`` quiescence), ``"deadlock"`` (no node can ever
+        run again yet not all have halted), or ``"max_rounds"``.
+    dropped_messages:
+        Messages addressed to already-halted nodes; delivery is dropped.
     """
 
-    __slots__ = ("rounds", "outputs", "messages_sent", "max_words")
+    __slots__ = (
+        "rounds",
+        "outputs",
+        "messages_sent",
+        "max_words",
+        "stop_reason",
+        "dropped_messages",
+    )
 
-    def __init__(self, rounds: int, outputs: Dict[Node, Any], messages_sent: int, max_words: int):
+    def __init__(
+        self,
+        rounds: int,
+        outputs: Dict[Node, Any],
+        messages_sent: int,
+        max_words: int,
+        stop_reason: str = "halted",
+        dropped_messages: int = 0,
+    ):
         self.rounds = rounds
         self.outputs = outputs
         self.messages_sent = messages_sent
         self.max_words = max_words
+        self.stop_reason = stop_reason
+        self.dropped_messages = dropped_messages
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"RunResult(rounds={self.rounds}, messages={self.messages_sent}, "
-            f"max_words={self.max_words})"
+            f"max_words={self.max_words}, stop_reason={self.stop_reason!r})"
         )
-
-
-def _payload_words(payload: Any) -> int:
-    if payload is None:
-        return 0
-    if isinstance(payload, (list, tuple)):
-        return sum(_payload_words(x) for x in payload) or 1
-    return 1
 
 
 class Network:
@@ -113,13 +228,41 @@ class Network:
       returns ``dict neighbor -> payload`` to send this round (or ``None``).
 
     The run ends when every node has halted, or after ``max_rounds``.
+
+    The node→integer index and CSR adjacency arrays are built once here and
+    reused by every :meth:`run` on this network.
     """
 
-    def __init__(self, graph: nx.Graph, max_words: int = MAX_WORDS_PER_MESSAGE):
+    def __init__(
+        self,
+        graph: nx.Graph,
+        max_words: int = MAX_WORDS_PER_MESSAGE,
+        word_bits: Optional[int] = None,
+    ):
         if len(graph) == 0:
             raise ValueError("empty network")
         self.graph = graph
         self.max_words = max_words
+        n = len(graph)
+        # One word = ceil(log2 n) bits — the O(log n) word of the model.
+        self.word_bits = (
+            word_bits
+            if word_bits is not None
+            else max(1, math.ceil(math.log2(max(n, 2))))
+        )
+        self.nodes: List[Node] = list(graph.nodes)
+        self.index: Dict[Node, int] = {v: i for i, v in enumerate(self.nodes)}
+        starts: List[int] = [0]
+        flat: List[int] = []
+        for v in self.nodes:
+            for u in graph.neighbors(v):
+                flat.append(self.index[u])
+            starts.append(len(flat))
+        self.csr_starts = starts
+        self.csr_targets = flat
+        self._neighbor_sets: List[frozenset] = [
+            frozenset(flat[starts[i]: starts[i + 1]]) for i in range(n)
+        ]
 
     def run(
         self,
@@ -128,58 +271,161 @@ class Network:
         max_rounds: int,
         finalize: Optional[Callable[[NodeContext], Any]] = None,
         stop_when_quiet: bool = False,
+        trace: Optional[RoundTrace] = None,
+        scheduler: str = "active",
     ) -> RunResult:
         """Execute a node program on every node synchronously.
 
         ``stop_when_quiet`` ends the run once a round passes with no message
         sent and none in flight — the natural stopping rule for flooding
-        protocols whose nodes never halt explicitly.
+        protocols whose nodes never halt explicitly.  The final quiet round
+        (the one that consumed the last in-flight messages and produced
+        none) *is* counted in ``RunResult.rounds``; see docs/MODEL.md.
+
+        ``trace`` (a :class:`repro.congest.trace.RoundTrace`) opts into
+        per-round observability; ``scheduler`` selects ``"active"`` (the
+        default active-set dispatch) or ``"dense"`` (legacy every-node
+        dispatch, kept for A/B measurement).
         """
-        contexts: Dict[Node, NodeContext] = {
-            v: NodeContext(v, tuple(self.graph.neighbors(v))) for v in self.graph.nodes
-        }
-        for ctx in contexts.values():
+        if scheduler not in ("active", "dense"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        dense = scheduler == "dense"
+        nodes = self.nodes
+        n = len(nodes)
+        index = self.index
+        starts, flat = self.csr_starts, self.csr_targets
+        nbr_sets = self._neighbor_sets
+        contexts: List[NodeContext] = [
+            NodeContext(v, tuple(nodes[j] for j in flat[starts[i]: starts[i + 1]]))
+            for i, v in enumerate(nodes)
+        ]
+        for ctx in contexts:
             init(ctx)
-        in_flight: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.graph.nodes}
+        halted_count = sum(1 for ctx in contexts if ctx.halted)
+        # Pooled per-node inboxes, cleared lazily after consumption — no
+        # O(n) rebuild per round.
+        inboxes: List[Dict[Node, Any]] = [{} for _ in range(n)]
+        # Round 1 dispatches every live node (the synchronous start).
+        active: List[int] = [i for i in range(n) if not contexts[i].halted]
+        run_id = trace.begin_run() if trace is not None else 0
+        word_bits = self.word_bits
+        budget = self.max_words
         rounds = 0
         messages = 0
+        dropped_total = 0
         max_words_seen = 0
-        quiet_last_round = False
+        sent_last_round = True
+        warned_drop = False
+        stop_reason = "max_rounds"
         while rounds < max_rounds:
-            if all(ctx.halted for ctx in contexts.values()):
+            if halted_count == n:
+                stop_reason = "halted"
                 break
-            if (
-                stop_when_quiet
-                and rounds > 0
-                and not any(in_flight[v] for v in in_flight)
-                and quiet_last_round
-            ):
+            if stop_when_quiet and rounds > 0 and not sent_last_round:
+                stop_reason = "quiet"
+                break
+            if not dense and not active:
+                # Nothing has mail and nothing asked to be woken: no future
+                # round can differ.  The dense dispatch would spin silently
+                # to max_rounds; fast-forward to the same round count and
+                # make the situation visible.
+                if trace is not None:
+                    trace.warn(
+                        f"run {run_id}: deadlock after round {rounds} — "
+                        f"{n - halted_count} nodes idle un-halted with no "
+                        f"messages in flight; fast-forwarding to round "
+                        f"{max_rounds}"
+                    )
+                rounds = max_rounds
+                stop_reason = "deadlock"
                 break
             rounds += 1
-            outgoing: List[Tuple[Node, Node, Any]] = []
-            for v, ctx in contexts.items():
+            schedule = (
+                [i for i in range(n) if not contexts[i].halted] if dense else active
+            )
+            outgoing: List[Tuple[Node, int, Any]] = []
+            round_words = 0
+            round_max_words = 0
+            for i in schedule:
+                ctx = contexts[i]
                 if ctx.halted:
                     continue
-                sends = on_round(ctx, in_flight[v]) or {}
+                ctx._wake = False
+                inbox = inboxes[i]
+                sends = on_round(ctx, inbox)
+                if inbox:
+                    inbox.clear()
+                if ctx.halted:
+                    halted_count += 1
+                if not sends:
+                    continue
+                v = ctx.node
                 for target, payload in sends.items():
-                    if target not in contexts or not self.graph.has_edge(v, target):
+                    t = index.get(target)
+                    if t is None or t not in nbr_sets[i]:
                         raise CongestViolation(
                             f"{v!r} tried to message non-neighbor {target!r}"
                         )
-                    words = _payload_words(payload)
-                    if words > self.max_words:
+                    words = payload_words(payload, word_bits)
+                    if words > budget:
                         raise CongestViolation(
                             f"message {v!r}->{target!r} has {words} words "
-                            f"(budget {self.max_words})"
+                            f"(budget {budget})"
                         )
-                    max_words_seen = max(max_words_seen, words)
-                    outgoing.append((v, target, payload))
-            quiet_last_round = not outgoing
-            in_flight = {v: {} for v in self.graph.nodes}
-            for source, target, payload in outgoing:
-                in_flight[target][source] = payload
+                    if words > max_words_seen:
+                        max_words_seen = words
+                    if trace is not None:
+                        round_words += words
+                        if words > round_max_words:
+                            round_max_words = words
+                        trace.record_message(run_id, rounds, v, target, words)
+                    outgoing.append((v, t, payload))
+            # Synchronous delivery: this round's sends arrive next round.
+            next_active: List[int] = []
+            scheduled = bytearray(n)
+            dropped = 0
+            for src, t, payload in outgoing:
                 messages += 1
+                if contexts[t].halted:
+                    # Semantics choice: mail to a halted node is dropped —
+                    # the node has left the protocol.  Counted in
+                    # messages_sent (the sender paid the bandwidth) and
+                    # surfaced via dropped_messages and the trace.
+                    dropped += 1
+                    continue
+                inboxes[t][src] = payload
+                if not scheduled[t]:
+                    scheduled[t] = 1
+                    next_active.append(t)
+            if dropped:
+                dropped_total += dropped
+                if trace is not None and not warned_drop:
+                    warned_drop = True
+                    trace.warn(
+                        f"run {run_id}: round {rounds} sent mail to already-"
+                        f"halted nodes (dropped; see dropped_messages)"
+                    )
+            if not dense:
+                for i in schedule:
+                    ctx = contexts[i]
+                    if ctx._wake and not ctx.halted and not scheduled[i]:
+                        scheduled[i] = 1
+                        next_active.append(i)
+                active = next_active
+            sent_last_round = bool(outgoing)
+            if trace is not None:
+                trace.record_round(
+                    run_id,
+                    rounds,
+                    len(schedule),
+                    len(outgoing),
+                    round_words,
+                    dropped,
+                    round_max_words,
+                )
         outputs: Dict[Node, Any] = {}
-        for v, ctx in contexts.items():
-            outputs[v] = finalize(ctx) if finalize is not None else ctx.output
-        return RunResult(rounds, outputs, messages, max_words_seen)
+        for ctx in contexts:
+            outputs[ctx.node] = finalize(ctx) if finalize is not None else ctx.output
+        return RunResult(
+            rounds, outputs, messages, max_words_seen, stop_reason, dropped_total
+        )

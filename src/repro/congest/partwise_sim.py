@@ -36,6 +36,7 @@ from ..shortcuts.shortcuts import ShortcutStructure, build_shortcuts
 from ..trees.rooted import RootedTree
 from ..trees.spanning import bfs_tree
 from .network import Network, NodeContext, RunResult
+from .trace import RoundTrace
 
 Node = Hashable
 
@@ -70,6 +71,7 @@ def partwise_aggregation_run(
     combine: Callable[[int, int], int] = lambda a, b: a + b,
     tree: Optional[RootedTree] = None,
     shortcuts: Optional[ShortcutStructure] = None,
+    trace: Optional[RoundTrace] = None,
 ) -> PartwiseRun:
     """Aggregate every part's values at the BFS root, at message level."""
     if tree is None:
@@ -140,6 +142,8 @@ def partwise_aggregation_run(
         ctx.state["sent"].add(part)
         if len(ctx.state["sent"]) == len(relays[v]):
             ctx.halt(None)
+        elif len(ready) > 1:
+            ctx.wake()  # more parts already ready to pipeline upward
         return {up: (part, ctx.state["acc"][part])}
 
     result = Network(graph).run(
@@ -147,6 +151,7 @@ def partwise_aggregation_run(
         on_round,
         max_rounds=8 * len(graph) + len(parts) + 32,
         stop_when_quiet=True,
+        trace=trace,
     )
     root_out = result.outputs.get(root)
     if root_out is None:  # pragma: no cover - root halted without output
@@ -165,6 +170,7 @@ def partwise_broadcast_run(
     values: Dict[int, int],
     tree: Optional[RootedTree] = None,
     shortcuts: Optional[ShortcutStructure] = None,
+    trace: Optional[RoundTrace] = None,
 ) -> PartwiseRun:
     """The downcast half of Prop. 4: deliver each part's value to all its
     members over the shortcut edges, pipelined one (part, value) pair per
@@ -228,6 +234,8 @@ def partwise_broadcast_run(
         )
         if not progressed and set(ctx.state["have"]) >= relays[v] and done:
             ctx.halt(dict(ctx.state["received"]))
+        elif progressed:
+            ctx.wake()  # keep pipelining (or come back to halt) next round
         return sends or None
 
     result = Network(graph).run(
@@ -236,6 +244,7 @@ def partwise_broadcast_run(
         max_rounds=8 * len(graph) + len(parts) + 32,
         finalize=lambda ctx: dict(ctx.state["received"]),
         stop_when_quiet=True,
+        trace=trace,
     )
     received: Dict[int, int] = {}
     for i, part in enumerate(parts):

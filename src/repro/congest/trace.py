@@ -1,0 +1,197 @@
+"""Opt-in observability for the CONGEST simulator.
+
+A :class:`RoundTrace` is handed to :meth:`repro.congest.network.Network.run`
+and records, per synchronous round, what the scheduler saw: how many nodes
+were dispatched (the *active set*), how many messages were sent, their total
+and maximum word cost, and how many were dropped on delivery to halted
+nodes.  It also keeps a per-edge histogram of message word sizes and the
+single worst bandwidth offender across the whole trace, so "who is close to
+the budget" is a lookup rather than a re-run.
+
+One trace object may span several ``Network.run`` invocations (the
+multi-pass sims re-arm the simulator per pass); each run gets an increasing
+``run`` id via :meth:`RoundTrace.begin_run`.
+
+For offline analysis, :meth:`RoundTrace.dump_jsonl` writes one JSON object
+per line — round records, then warnings, then a summary — and
+:func:`read_jsonl` loads them back.  Node identifiers that are not JSON
+types are serialized via ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+Node = Hashable
+
+__all__ = ["RoundRecord", "RoundTrace", "read_jsonl"]
+
+
+class RoundRecord:
+    """One synchronous round, as the scheduler executed it.
+
+    Attributes
+    ----------
+    run:
+        1-based index of the ``Network.run`` invocation within this trace.
+    round:
+        1-based round number within that run.
+    active:
+        Nodes dispatched this round (the active set; under the dense
+        scheduler this is every non-halted node).
+    messages:
+        Messages sent this round.
+    words:
+        Total payload words across those messages.
+    dropped:
+        Messages addressed to already-halted nodes (counted as sent,
+        never delivered).
+    max_words:
+        Largest single-message word cost this round.
+    """
+
+    __slots__ = ("run", "round", "active", "messages", "words", "dropped", "max_words")
+
+    def __init__(
+        self,
+        run: int,
+        round: int,
+        active: int,
+        messages: int,
+        words: int,
+        dropped: int,
+        max_words: int,
+    ):
+        self.run = run
+        self.round = round
+        self.active = active
+        self.messages = messages
+        self.words = words
+        self.dropped = dropped
+        self.max_words = max_words
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "round",
+            "run": self.run,
+            "round": self.round,
+            "active": self.active,
+            "messages": self.messages,
+            "words": self.words,
+            "dropped": self.dropped,
+            "max_words": self.max_words,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoundRecord(run={self.run}, round={self.round}, active={self.active}, "
+            f"messages={self.messages}, dropped={self.dropped})"
+        )
+
+
+class RoundTrace:
+    """Accumulates per-round scheduler observations across runs.
+
+    Parameters
+    ----------
+    edge_histograms:
+        When true (the default) keep a word-size histogram per directed
+        edge; disable for very large traces where only the per-round
+        records matter.
+    """
+
+    def __init__(self, edge_histograms: bool = True):
+        self.records: List[RoundRecord] = []
+        self.warnings: List[str] = []
+        #: directed edge (src, dst) -> {word cost -> message count}
+        self.edge_words: Dict[Tuple[Node, Node], Dict[int, int]] = {}
+        self.max_words = 0
+        #: (run, round, src, dst, words) of the single largest message seen
+        self.offender: Optional[Tuple[int, int, Node, Node, int]] = None
+        self.total_messages = 0
+        self.total_dropped = 0
+        self.peak_active = 0
+        self.runs = 0
+        self._edge_histograms = edge_histograms
+
+    # -- hooks called by Network.run -----------------------------------
+    def begin_run(self) -> int:
+        """Mark the start of one ``Network.run``; returns its run id."""
+        self.runs += 1
+        return self.runs
+
+    def record_message(self, run: int, rnd: int, src: Node, dst: Node, words: int) -> None:
+        if self._edge_histograms:
+            hist = self.edge_words.setdefault((src, dst), {})
+            hist[words] = hist.get(words, 0) + 1
+        if words > self.max_words:
+            self.max_words = words
+            self.offender = (run, rnd, src, dst, words)
+
+    def record_round(
+        self,
+        run: int,
+        rnd: int,
+        active: int,
+        messages: int,
+        words: int,
+        dropped: int,
+        max_words: int,
+    ) -> None:
+        self.records.append(
+            RoundRecord(run, rnd, active, messages, words, dropped, max_words)
+        )
+        self.total_messages += messages
+        self.total_dropped += dropped
+        if active > self.peak_active:
+            self.peak_active = active
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    # -- reporting ------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view: totals, active-set shape, worst offender."""
+        rounds = len(self.records)
+        mean_active = (
+            sum(r.active for r in self.records) / rounds if rounds else 0.0
+        )
+        return {
+            "runs": self.runs,
+            "rounds": rounds,
+            "messages": self.total_messages,
+            "dropped": self.total_dropped,
+            "peak_active": self.peak_active,
+            "mean_active": mean_active,
+            "max_words": self.max_words,
+            "offender": self.offender,
+            "warnings": len(self.warnings),
+        }
+
+    def dump_jsonl(self, path) -> int:
+        """Write the trace as JSONL; returns the number of lines written."""
+        lines = 0
+        with open(path, "w") as fh:
+            for rec in self.records:
+                fh.write(json.dumps(rec.as_dict(), default=repr) + "\n")
+                lines += 1
+            for message in self.warnings:
+                fh.write(json.dumps({"kind": "warning", "message": message}) + "\n")
+                lines += 1
+            fh.write(json.dumps({"kind": "summary", **self.summary()}, default=repr) + "\n")
+            lines += 1
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.summary()
+        return (
+            f"RoundTrace(runs={s['runs']}, rounds={s['rounds']}, "
+            f"messages={s['messages']}, peak_active={s['peak_active']})"
+        )
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """Load a trace dump written by :meth:`RoundTrace.dump_jsonl`."""
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]

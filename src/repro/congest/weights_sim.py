@@ -39,6 +39,7 @@ import networkx as nx
 
 from ..core.config import PlanarConfiguration
 from .network import Network, NodeContext, RunResult
+from .trace import RoundTrace
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -67,7 +68,9 @@ class WeightsRun:
         self.orders = orders
 
 
-def _size_convergecast(cfg: PlanarConfiguration) -> Tuple[Dict[Node, Dict[Node, int]], int]:
+def _size_convergecast(
+    cfg: PlanarConfiguration, trace: Optional[RoundTrace] = None
+) -> Tuple[Dict[Node, Dict[Node, int]], int]:
     """Pass 1: child subtree sizes, learned at each parent by messages."""
     tree = cfg.tree
 
@@ -87,13 +90,16 @@ def _size_convergecast(cfg: PlanarConfiguration) -> Tuple[Dict[Node, Dict[Node, 
                 return {parent: (size,)}
         return None
 
-    result = Network(cfg.graph).run(init, on_round, max_rounds=2 * cfg.n + 8)
+    result = Network(cfg.graph).run(
+        init, on_round, max_rounds=2 * cfg.n + 8, trace=trace
+    )
     return dict(result.outputs), result.rounds
 
 
 def _order_downcast(
     cfg: PlanarConfiguration,
     child_sizes: Dict[Node, Dict[Node, int]],
+    trace: Optional[RoundTrace] = None,
 ) -> Tuple[Dict[Node, Tuple[int, int, int]], int]:
     """Pass 2: assign (pi_l, pi_r, depth) top-down."""
     tree = cfg.tree
@@ -136,15 +142,18 @@ def _order_downcast(
     result = Network(cfg.graph).run(
         init, on_round, max_rounds=2 * cfg.n + 8, stop_when_quiet=True,
         finalize=lambda ctx: ctx.state["me"],
+        trace=trace,
     )
     return dict(result.outputs), result.rounds
 
 
-def weights_problem_run(cfg: PlanarConfiguration) -> WeightsRun:
+def weights_problem_run(
+    cfg: PlanarConfiguration, trace: Optional[RoundTrace] = None
+) -> WeightsRun:
     """Run the full message-level WEIGHTS-PROBLEM on one configuration."""
     tree = cfg.tree
-    child_sizes, rounds1 = _size_convergecast(cfg)
-    orders, rounds2 = _order_downcast(cfg, child_sizes)
+    child_sizes, rounds1 = _size_convergecast(cfg, trace=trace)
+    orders, rounds2 = _order_downcast(cfg, child_sizes, trace=trace)
     pi_l = {v: orders[v][0] for v in cfg.graph.nodes}
     pi_r = {v: orders[v][1] for v in cfg.graph.nodes}
     depth = {v: orders[v][2] for v in cfg.graph.nodes}
