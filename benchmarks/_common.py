@@ -1,14 +1,19 @@
 """Shared helpers for the benchmark harness.
 
-Every ``bench_e*.py`` regenerates one experiment of DESIGN.md §4: it runs
-the experiment rows, asserts the claim's *shape*, writes the table to
-``benchmarks/results/``, and times a representative unit with
-pytest-benchmark.  Run with::
+Every ``bench_e*.py`` regenerates one experiment of DESIGN.md §4 through
+the unified runner (:mod:`repro.analysis.runner`): :func:`run_and_emit`
+executes the experiment (serially, with the on-disk cache under
+``benchmarks/.cache/``), persists the provenance-stamped ``.txt`` table
+*and* the versioned ``e<N>.json`` artifact under ``benchmarks/results/``,
+prints the table and returns the rows for the bench's shape assertions.
+Run with::
 
     pytest benchmarks/ --benchmark-only
 
 or execute any module directly (``python benchmarks/bench_e1_separator_rounds.py``)
-to print its table without timing.
+to print its table without timing.  The artifact schema, cache semantics
+and regression contract are documented in ``docs/BENCHMARKS.md``; the
+parallel path is ``python -m repro experiment all --parallel N``.
 """
 
 from __future__ import annotations
@@ -16,18 +21,38 @@ from __future__ import annotations
 import pathlib
 from typing import Dict, List
 
-from repro.analysis import render_table
+from repro.analysis import render_table, runner
+from repro.analysis.cache import InstanceCache
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_ROOT = pathlib.Path(__file__).parent
+RESULTS_DIR = BENCH_ROOT / "results"
+CACHE_DIR = BENCH_ROOT / ".cache"
 
-__all__ = ["RESULTS_DIR", "emit"]
+__all__ = ["RESULTS_DIR", "CACHE_DIR", "emit", "run_and_emit"]
 
 
 def emit(name: str, rows: List[Dict], title: str) -> str:
-    """Render, persist and print one experiment table."""
-    table = render_table(rows, title)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / name).write_text(table)
+    """Render, stamp, persist and print one table (for the extra
+    trace/micro tables that are not registered experiments)."""
+    text = runner.write_table(RESULTS_DIR / name, rows, title)
     print()
-    print(table)
-    return table
+    print(text)
+    return text
+
+
+def run_and_emit(key: str, name: str, title: str, **overrides) -> List[Dict]:
+    """Run one registered experiment through the runner and persist every
+    output: the ``.txt`` table under ``name`` plus the ``e<N>.json``
+    artifact.  Parameter ``overrides`` go to the experiment's registered
+    signature (e.g. ``sizes=...``).  Returns the rows."""
+    runs = runner.run_experiments(
+        [key],
+        overrides={key: overrides} if overrides else None,
+        cache=InstanceCache(CACHE_DIR),
+    )
+    runner.write_artifacts(runs, RESULTS_DIR, json_only=True)
+    run = runs[key]
+    text = runner.write_table(RESULTS_DIR / name, run.rows, title)
+    print()
+    print(text)
+    return run.rows

@@ -6,15 +6,14 @@ multiple of log2 n; every non-final phase shrinks the largest remaining
 component to at most 2/3 of its size.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.core.dfs import dfs_tree
 from repro.planar import generators as gen
 
 
 def test_e10_recursion(benchmark):
-    rows = experiments.e10_recursion()
-    emit("e10_recursion.txt", rows, "E10 - DFS main-loop phases and shrink factors")
+    rows = run_and_emit("e10", "e10_recursion.txt",
+                        "E10 - DFS main-loop phases and shrink factors")
     for row in rows:
         assert row["phases"] <= 3 * row["log2n"] + 3, row
         assert row["max_shrink_factor"] <= row["bound"] + 1e-9, row
@@ -24,5 +23,5 @@ def test_e10_recursion(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e10_recursion.txt", experiments.e10_recursion(),
-         "E10 - DFS main-loop phases and shrink factors")
+    run_and_emit("e10", "e10_recursion.txt",
+                 "E10 - DFS main-loop phases and shrink factors")

@@ -7,8 +7,7 @@ degenerate spanning-tree instances (grid DFS snakes, wheels with random
 trees) that the errata describe.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.core.config import PlanarConfiguration
 from repro.core.separator import cycle_separator
 from repro.planar import generators as gen
@@ -16,8 +15,8 @@ from repro.trees import dfs_spanning_tree
 
 
 def test_e11_ablation(benchmark):
-    rows = experiments.e11_ablation(seeds=range(6))
-    emit("e11_ablation.txt", rows, "E11 - ablation of the reproduction's repairs")
+    rows = run_and_emit("e11", "e11_ablation.txt",
+                        "E11 - ablation of the reproduction's repairs")
     by = {r["variant"]: r for r in rows}
     assert by["full (as shipped)"]["failure_rate"] == 0.0
     assert by["paper-as-stated"]["failure_rate"] > 0.0
@@ -29,5 +28,5 @@ def test_e11_ablation(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e11_ablation.txt", experiments.e11_ablation(seeds=range(6)),
-         "E11 - ablation of the reproduction's repairs")
+    run_and_emit("e11", "e11_ablation.txt",
+                 "E11 - ablation of the reproduction's repairs")

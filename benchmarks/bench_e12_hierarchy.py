@@ -6,15 +6,14 @@ families while n grows 9x, and the elimination order is a permutation of
 the nodes (asserted inside the runner).
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.applications import build_hierarchy
 from repro.planar import generators as gen
 
 
 def test_e12_hierarchy(benchmark):
-    rows = experiments.e12_hierarchy()
-    emit("e12_hierarchy.txt", rows, "E12 - separator hierarchy depth vs log n")
+    rows = run_and_emit("e12", "e12_hierarchy.txt",
+                        "E12 - separator hierarchy depth vs log n")
     for row in rows:
         assert row["depth"] <= row["log_1.5(n)"] + 4, row
 
@@ -23,5 +22,5 @@ def test_e12_hierarchy(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e12_hierarchy.txt", experiments.e12_hierarchy(),
-         "E12 - separator hierarchy depth vs log n")
+    run_and_emit("e12", "e12_hierarchy.txt",
+                 "E12 - separator hierarchy depth vs log n")

@@ -6,15 +6,14 @@ c + d the ledger charges for it.  Shape: measured <= charged on every row —
 the guarantee that makes E1/E2's charged round counts trustworthy.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.congest import partwise_aggregation_run
 from repro.planar import generators as gen
 
 
 def test_e13_charge_honesty(benchmark):
-    rows = experiments.e13_charge_honesty()
-    emit("e13_charge_honesty.txt", rows, "E13 - measured PA rounds vs ledger charge")
+    rows = run_and_emit("e13", "e13_charge_honesty.txt",
+                        "E13 - measured PA rounds vs ledger charge")
     for row in rows:
         assert row["measured_rounds"] <= row["charged_c+d"], row
 
@@ -26,5 +25,5 @@ def test_e13_charge_honesty(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e13_charge_honesty.txt", experiments.e13_charge_honesty(),
-         "E13 - measured PA rounds vs ledger charge")
+    run_and_emit("e13", "e13_charge_honesty.txt",
+                 "E13 - measured PA rounds vs ledger charge")

@@ -7,15 +7,14 @@ trade-off the paper makes deliberately (the DFS-RULE needs paths, not small
 sets).
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.baselines import lipton_tarjan_separator
 from repro.planar import generators as gen
 
 
 def test_e14_sizes(benchmark):
-    rows = experiments.e14_separator_sizes()
-    emit("e14_separator_sizes.txt", rows, "E14 - separator sizes vs baselines")
+    rows = run_and_emit("e14", "e14_separator_sizes.txt",
+                        "E14 - separator sizes vs baselines")
     for row in rows:
         assert row["lipton_tarjan"] <= row["2r+1"], row
         assert row["ours"] >= 1
@@ -25,5 +24,5 @@ def test_e14_sizes(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e14_separator_sizes.txt", experiments.e14_separator_sizes(),
-         "E14 - separator sizes vs baselines")
+    run_and_emit("e14", "e14_separator_sizes.txt",
+                 "E14 - separator sizes vs baselines")

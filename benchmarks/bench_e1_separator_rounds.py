@@ -8,8 +8,7 @@ n^0.5-type growth beyond the diameter's own).
 
 import networkx as nx
 
-from _common import emit
-from repro.analysis import experiments
+from _common import emit, run_and_emit
 from repro.congest import RoundTrace, bfs_run
 from repro.core.config import PlanarConfiguration
 from repro.core.separator import cycle_separator
@@ -45,8 +44,8 @@ def bfs_trace_rows(sizes=(100, 400, 1600)):
 
 
 def test_e1_separator_rounds(benchmark):
-    rows = experiments.e1_separator_rounds(sizes=SIZES)
-    emit("e1_separator_rounds.txt", rows, "E1 - separator charged rounds vs n (Thm 1)")
+    rows = run_and_emit("e1", "e1_separator_rounds.txt",
+                        "E1 - separator charged rounds vs n (Thm 1)", sizes=SIZES)
     emit("e1_bfs_trace.txt", bfs_trace_rows(),
          "E1 - BFS-tree construction under RoundTrace (frontier active sets)")
     by_family = {}
@@ -65,7 +64,7 @@ def test_e1_separator_rounds(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e1_separator_rounds.txt", experiments.e1_separator_rounds(sizes=SIZES),
-         "E1 - separator charged rounds vs n (Thm 1)")
+    run_and_emit("e1", "e1_separator_rounds.txt",
+                 "E1 - separator charged rounds vs n (Thm 1)", sizes=SIZES)
     emit("e1_bfs_trace.txt", bfs_trace_rows(),
          "E1 - BFS-tree construction under RoundTrace (frontier active sets)")

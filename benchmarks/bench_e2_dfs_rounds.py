@@ -8,8 +8,7 @@ low-diameter family Awerbuch's rounds catch up to and overtake the charged
 deterministic rounds as n grows.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import emit, run_and_emit
 from repro.congest import RoundTrace, awerbuch_dfs_run
 from repro.core.dfs import dfs_tree
 from repro.planar import generators as gen
@@ -44,8 +43,9 @@ def awerbuch_trace_rows(sizes=(64, 256)):
 
 
 def test_e2_dfs_rounds(benchmark):
-    rows = experiments.e2_dfs_rounds(sizes=SIZES)
-    emit("e2_dfs_rounds.txt", rows, "E2 - deterministic DFS (charged) vs Awerbuch (measured)")
+    rows = run_and_emit("e2", "e2_dfs_rounds.txt",
+                        "E2 - deterministic DFS (charged) vs Awerbuch (measured)",
+                        sizes=SIZES)
     emit("e2_awerbuch_trace.txt", awerbuch_trace_rows(),
          "E2 - Awerbuch under RoundTrace (active set stays near the token)")
     for row in rows:
@@ -66,7 +66,7 @@ def test_e2_dfs_rounds(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e2_dfs_rounds.txt", experiments.e2_dfs_rounds(sizes=SIZES),
-         "E2 - deterministic DFS (charged) vs Awerbuch (measured)")
+    run_and_emit("e2", "e2_dfs_rounds.txt",
+                 "E2 - deterministic DFS (charged) vs Awerbuch (measured)", sizes=SIZES)
     emit("e2_awerbuch_trace.txt", awerbuch_trace_rows(),
          "E2 - Awerbuch under RoundTrace (active set stays near the token)")

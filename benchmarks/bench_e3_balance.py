@@ -4,16 +4,15 @@ Regenerates the per-family worst-case component-fraction table.  Shape:
 `worst_fraction <= 2/3` on every row — not on average, on every instance.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.core.config import PlanarConfiguration
 from repro.core.separator import cycle_separator
 from repro.planar import generators as gen
 
 
 def test_e3_balance(benchmark):
-    rows = experiments.e3_balance(seeds=range(6))
-    emit("e3_balance.txt", rows, "E3 - separator balance per family (hard 2/3 bound)")
+    rows = run_and_emit("e3", "e3_balance.txt",
+                        "E3 - separator balance per family (hard 2/3 bound)")
     for row in rows:
         assert row["holds"], row
 
@@ -23,5 +22,5 @@ def test_e3_balance(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e3_balance.txt", experiments.e3_balance(seeds=range(6)),
-         "E3 - separator balance per family (hard 2/3 bound)")
+    run_and_emit("e3", "e3_balance.txt",
+                 "E3 - separator balance per family (hard 2/3 bound)")

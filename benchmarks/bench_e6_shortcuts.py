@@ -5,15 +5,14 @@ planar instances.  Shape: c + d stays within a small multiple of the
 D·log D planar bound that the charged cost model is built on.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.planar import generators as gen
 from repro.shortcuts import build_shortcuts
 
 
 def test_e6_shortcuts(benchmark):
-    rows = experiments.e6_shortcuts()
-    emit("e6_shortcuts.txt", rows, "E6 - measured shortcut quality vs D log D")
+    rows = run_and_emit("e6", "e6_shortcuts.txt",
+                        "E6 - measured shortcut quality vs D log D")
     for row in rows:
         assert row["ratio"] <= 8, row
 
@@ -23,5 +22,5 @@ def test_e6_shortcuts(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e6_shortcuts.txt", experiments.e6_shortcuts(),
-         "E6 - measured shortcut quality vs D log D")
+    run_and_emit("e6", "e6_shortcuts.txt",
+                 "E6 - measured shortcut quality vs D log D")

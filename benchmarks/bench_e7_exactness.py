@@ -6,8 +6,7 @@ weight formula is exact, not an approximation (this is its whole point
 versus the randomized estimates of Ghaffari–Parter).
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.core.config import PlanarConfiguration
 from repro.core.faces import face_view
 from repro.core.weights import weight
@@ -15,8 +14,8 @@ from repro.planar import generators as gen
 
 
 def test_e7_exactness(benchmark):
-    rows = experiments.e7_exactness(seeds=range(4))
-    emit("e7_exactness.txt", rows, "E7 - exactness of the deterministic formulas")
+    rows = run_and_emit("e7", "e7_exactness.txt",
+                        "E7 - exactness of the deterministic formulas")
     for row in rows:
         assert row["mismatches"] == 0, row
         assert row["faces"] > 1000
@@ -32,5 +31,5 @@ def test_e7_exactness(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e7_exactness.txt", experiments.e7_exactness(seeds=range(4)),
-         "E7 - exactness of the deterministic formulas")
+    run_and_emit("e7", "e7_exactness.txt",
+                 "E7 - exactness of the deterministic formulas")

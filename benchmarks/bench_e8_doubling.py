@@ -6,8 +6,7 @@ depth is n - 1 (paths) — the whole reason the paper needs these
 subroutines instead of walking the tree.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import emit, run_and_emit
 from repro.congest import RoundTrace, fragment_merge_run
 from repro.core.config import PlanarConfiguration
 from repro.core.subroutines import dfs_order_phases
@@ -42,8 +41,8 @@ def fragment_trace_rows(sizes=(128, 512)):
 
 
 def test_e8_doubling(benchmark):
-    rows = experiments.e8_doubling()
-    emit("e8_doubling.txt", rows, "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
+    rows = run_and_emit("e8", "e8_doubling.txt",
+                        "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
     emit("e8_fragment_trace.txt", fragment_trace_rows(),
          "E8 - fragment merging under RoundTrace (per-pass message profile)")
     for row in rows:
@@ -55,7 +54,7 @@ def test_e8_doubling(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e8_doubling.txt", experiments.e8_doubling(),
-         "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
+    run_and_emit("e8", "e8_doubling.txt",
+                 "E8 - fragment-merge phases vs log n (Lemmas 11/13)")
     emit("e8_fragment_trace.txt", fragment_trace_rows(),
          "E8 - fragment merging under RoundTrace (per-pass message profile)")

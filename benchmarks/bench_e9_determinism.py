@@ -7,8 +7,7 @@ deterministic row's 0 at small budgets — the statistical price the paper's
 Definition 2 eliminates.
 """
 
-from _common import emit
-from repro.analysis import experiments
+from _common import run_and_emit
 from repro.baselines import randomized_separator
 from repro.planar import generators as gen
 
@@ -16,8 +15,8 @@ BUDGETS = (2, 5, 10, 25, 75, 200)
 
 
 def test_e9_determinism(benchmark):
-    rows = experiments.e9_determinism(budgets=BUDGETS, attempts=40)
-    emit("e9_determinism.txt", rows, "E9 - sampled-weight failure rate vs budget")
+    rows = run_and_emit("e9", "e9_determinism.txt",
+                        "E9 - sampled-weight failure rate vs budget", budgets=BUDGETS)
     det = [r for r in rows if r["algorithm"].startswith("deterministic")]
     assert det and det[0]["failure_rate"] == 0.0
     sampled = [r for r in rows if not r["algorithm"].startswith("deterministic")]
@@ -29,5 +28,5 @@ def test_e9_determinism(benchmark):
 
 
 if __name__ == "__main__":
-    emit("e9_determinism.txt", experiments.e9_determinism(budgets=BUDGETS, attempts=40),
-         "E9 - sampled-weight failure rate vs budget")
+    run_and_emit("e9", "e9_determinism.txt",
+                 "E9 - sampled-weight failure rate vs budget", budgets=BUDGETS)

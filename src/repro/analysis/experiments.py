@@ -1,10 +1,25 @@
-"""Experiment runners E1–E10 (DESIGN.md §4).
+"""Experiment runners E1–E14 (DESIGN.md §4), registered with the runner.
 
-Each function regenerates one table/figure of the reproduction: it runs the
-relevant algorithms on the declared workloads and returns printable rows.
+Each public function ``e<N>_*`` regenerates one table of the reproduction
+and is registered via the :func:`repro.analysis.registry.experiment`
+decorator with the paper claim it regenerates (``claim_ref`` in the JSON
+artifacts), its unit decomposition, and its ``--grid small`` parameters.
+The functions stay directly callable — ``e1_separator_rounds()`` returns
+printable rows exactly as before — but every call now flows through the
+shared unit engine, so serial calls, ``python -m repro experiment`` and
+the parallel runner produce bit-identical rows (``tests/test_runner.py``).
+
+Layout per experiment: a ``_e<N>_units(**params)`` plan (small JSON
+dicts, one per independent work slice, seeds fixed deterministically at
+plan time), a ``_e<N>_unit(unit)`` worker (pure, picklable — this is what
+``ProcessPoolExecutor`` fans out), and the decorated public function.
+Histogram experiments (E4, E7) combine partial tallies with a custom
+``combine``; everything else concatenates rows in unit order.
+
 The benchmark harness (``benchmarks/bench_e*.py``) wraps these with
 pytest-benchmark timing and asserts the *shape* claims; ``EXPERIMENTS.md``
-records a snapshot of the output.
+records a snapshot of the output; ``docs/BENCHMARKS.md`` documents the
+whole contract.
 """
 
 from __future__ import annotations
@@ -26,7 +41,8 @@ from ..core.weights import interior_by_orders, side_sets, weight
 from ..planar import generators as gen
 from ..shortcuts import build_shortcuts
 from ..trees import bfs_tree, dfs_spanning_tree
-from . import workloads
+from . import cache, workloads
+from .registry import experiment, run_registered
 
 __all__ = [
     "e1_separator_rounds",
@@ -46,108 +62,201 @@ __all__ = [
 ]
 
 
+# -- shared helpers ---------------------------------------------------------
+
+
+def _prepared_instance(family: str, n: int, seed: int):
+    """Scaling-series instance plus its two expensive derived artifacts —
+    diameter (all-pairs BFS) and whole-graph shortcut quality — all three
+    memoized in the content-addressed artifact cache."""
+    _, g = workloads.scaled_instance(family, n, seed)
+    key = [*workloads.scaling_key(family, n), seed]
+    diameter = cache.cached("diameter", key, lambda: nx.diameter(g))
+    quality = cache.cached(
+        "shortcut-quality", key, lambda: build_shortcuts(g, [sorted(g.nodes)]).quality
+    )
+    return g, diameter, quality
+
+
 def _ledger_for(graph: nx.Graph) -> RoundLedger:
+    """Instance-calibrated ledger (uncached path, for ad-hoc graphs)."""
     diameter = nx.diameter(graph)
     shortcut = build_shortcuts(graph, [sorted(graph.nodes)])
     return RoundLedger(CostModel(len(graph), diameter, shortcut.quality))
 
 
+def _scaling_units(families, sizes, seed: int) -> List[Dict]:
+    """One unit per (family, realized instance), deduplicating requested
+    sizes that collapse to the same generator parameters (Apollonian)."""
+    units: List[Dict] = []
+    for family in families:
+        seen = set()
+        for n in sizes:
+            key = workloads.scaling_key(family, n)
+            if key in seen:
+                continue
+            seen.add(key)
+            units.append({"family": family, "n": n, "seed": seed})
+    return units
+
+
+# -- E1: Theorem 1 scaling --------------------------------------------------
+
+
+def _e1_units(sizes=(100, 225, 400, 900, 1600), seed: int = 0) -> List[Dict]:
+    return _scaling_units(("grid", "delaunay", "tri-grid"), sizes, seed)
+
+
+def _e1_unit(unit: Dict) -> List[Dict]:
+    g, diameter, quality = _prepared_instance(unit["family"], unit["n"], unit["seed"])
+    ledger = RoundLedger(CostModel(len(g), diameter, quality))
+    cfg = PlanarConfiguration.build(g, root=min(g.nodes))
+    res = cycle_separator(cfg, ledger=ledger)
+    return [
+        {
+            "family": unit["family"],
+            "n": len(g),
+            "D": diameter,
+            "phase": res.phase,
+            "sep_size": len(res.path),
+            "rounds": ledger.total_rounds,
+            "rounds/(D*log2n^2)": ledger.normalized(),
+        }
+    ]
+
+
+@experiment(
+    "e1",
+    claim="Theorem 1",
+    title="E1 - separator charged rounds vs n (Thm 1)",
+    units=_e1_units,
+    run_unit=_e1_unit,
+    small={"sizes": (100, 225)},
+)
 def e1_separator_rounds(sizes=(100, 225, 400, 900, 1600), seed: int = 0) -> List[Dict]:
     """E1 — Theorem 1: separator rounds scale like D polylog(n)."""
-    rows: List[Dict] = []
-    for family in ("grid", "delaunay", "tri-grid"):
-        for n, g in workloads.scaling_series(family, list(sizes), seed=seed):
-            diameter = nx.diameter(g)
-            ledger = _ledger_for(g)
-            cfg = PlanarConfiguration.build(g, root=min(g.nodes))
-            res = cycle_separator(cfg, ledger=ledger)
-            rows.append(
-                {
-                    "family": family,
-                    "n": len(g),
-                    "D": diameter,
-                    "phase": res.phase,
-                    "sep_size": len(res.path),
-                    "rounds": ledger.total_rounds,
-                    "rounds/(D*log2n^2)": ledger.normalized(),
-                }
-            )
-    return rows
+    return run_registered("e1", {"sizes": sizes, "seed": seed})
 
 
+# -- E2: Theorem 2 vs Awerbuch ----------------------------------------------
+
+
+def _e2_units(sizes=(64, 144, 256, 484), seed: int = 0) -> List[Dict]:
+    return _scaling_units(("grid", "apollonian"), sizes, seed)
+
+
+def _e2_unit(unit: Dict) -> List[Dict]:
+    g, diameter, quality = _prepared_instance(unit["family"], unit["n"], unit["seed"])
+    root = min(g.nodes)
+    ledger = RoundLedger(CostModel(len(g), diameter, quality))
+    res = dfs_tree(g, root, ledger=ledger)
+    check_dfs_tree(g, res.parent, root)
+    awerbuch = awerbuch_dfs_run(g, root)
+    return [
+        {
+            "family": unit["family"],
+            "n": len(g),
+            "D": diameter,
+            "det_rounds": ledger.total_rounds,
+            "awerbuch_rounds": awerbuch.rounds,
+            "det/(D*log2n^2)": ledger.normalized(),
+            "awerbuch/n": awerbuch.rounds / len(g),
+        }
+    ]
+
+
+@experiment(
+    "e2",
+    claim="Theorem 2 vs Awerbuch '85",
+    title="E2 - deterministic DFS (charged) vs Awerbuch (measured)",
+    units=_e2_units,
+    run_unit=_e2_unit,
+    small={"sizes": (64, 144)},
+)
 def e2_dfs_rounds(sizes=(64, 144, 256, 484), seed: int = 0) -> List[Dict]:
     """E2 — Theorem 2 vs Awerbuch '85: Õ(D) vs Θ(n) DFS rounds."""
-    rows: List[Dict] = []
-    for family in ("grid", "apollonian"):
-        seen = set()
-        for n, g in workloads.scaling_series(family, list(sizes), seed=seed):
-            if len(g) in seen:
-                continue
-            seen.add(len(g))
-            root = min(g.nodes)
-            diameter = nx.diameter(g)
-            ledger = _ledger_for(g)
-            res = dfs_tree(g, root, ledger=ledger)
-            check_dfs_tree(g, res.parent, root)
-            awerbuch = awerbuch_dfs_run(g, root)
-            rows.append(
-                {
-                    "family": family,
-                    "n": len(g),
-                    "D": diameter,
-                    "det_rounds": ledger.total_rounds,
-                    "awerbuch_rounds": awerbuch.rounds,
-                    "det/(D*log2n^2)": ledger.normalized(),
-                    "awerbuch/n": awerbuch.rounds / len(g),
-                }
-            )
-    return rows
+    return run_registered("e2", {"sizes": sizes, "seed": seed})
 
 
+# -- E3: balance guarantee --------------------------------------------------
+
+
+def _e3_units(seeds=range(6)) -> List[Dict]:
+    return [{"family": name, "seeds": list(seeds)} for name in workloads.SEPARATOR_SUITE]
+
+
+def _e3_unit(unit: Dict) -> List[Dict]:
+    g = workloads.suite_instance(unit["family"], 0)
+    worst = 0.0
+    sizes: List[int] = []
+    for seed in unit["seeds"]:
+        root = seed % len(g)
+        for maker in (bfs_tree, dfs_spanning_tree):
+            cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
+            res = cycle_separator(cfg)
+            report = separator_report(g, res.path)
+            worst = max(worst, report.max_fraction)
+            sizes.append(report.separator_size)
+    return [
+        {
+            "family": unit["family"],
+            "n": len(g),
+            "runs": 2 * len(unit["seeds"]),
+            "worst_fraction": worst,
+            "bound": 2 / 3,
+            "holds": worst <= 2 / 3 + 1e-9,
+            "mean_sep_size": sum(sizes) / len(sizes),
+        }
+    ]
+
+
+@experiment(
+    "e3",
+    claim="Lemma 5 / Lemma 1",
+    title="E3 - separator balance per family (hard 2/3 bound)",
+    units=_e3_units,
+    run_unit=_e3_unit,
+    small={"seeds": (0, 1)},
+)
 def e3_balance(seeds=range(6)) -> List[Dict]:
     """E3 — Lemma 5/1: every emitted separator leaves components <= 2n/3."""
-    rows: List[Dict] = []
-    for name, g0 in workloads.separator_suite(0):
-        worst = 0.0
-        sizes = []
-        for seed in seeds:
-            g = g0
-            root = seed % len(g)
-            for maker in (bfs_tree, dfs_spanning_tree):
-                cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
-                res = cycle_separator(cfg)
-                report = separator_report(g, res.path)
-                worst = max(worst, report.max_fraction)
-                sizes.append(report.separator_size)
-        rows.append(
-            {
-                "family": name,
-                "n": len(g0),
-                "runs": 2 * len(list(seeds)),
-                "worst_fraction": worst,
-                "bound": 2 / 3,
-                "holds": worst <= 2 / 3 + 1e-9,
-                "mean_sep_size": sum(sizes) / len(sizes),
-            }
-        )
-    return rows
+    return run_registered("e3", {"seeds": seeds})
 
 
-def e4_phases(seeds=range(8)) -> List[Dict]:
-    """E4 — §5.3: which phase of the machine emits the separator."""
+# -- E4: phase histogram ----------------------------------------------------
+
+
+def _e4_units(seeds=range(8)) -> List[Dict]:
+    return [{"family": name, "seeds": list(seeds)} for name in workloads.SEPARATOR_SUITE]
+
+
+def _e4_unit(unit: Dict) -> Dict:
+    g = workloads.suite_instance(unit["family"], 0)
     tally: Dict[str, int] = {}
     rules: Dict[str, int] = {}
     runs = 0
-    for name, g in workloads.separator_suite(0):
-        for seed in seeds:
-            root = seed % len(g)
-            for maker in (bfs_tree, dfs_spanning_tree):
-                cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
-                res = cycle_separator(cfg)
-                tally[res.phase] = tally.get(res.phase, 0) + 1
-                if res.rule:
-                    rules[res.rule] = rules.get(res.rule, 0) + 1
-                runs += 1
+    for seed in unit["seeds"]:
+        root = seed % len(g)
+        for maker in (bfs_tree, dfs_spanning_tree):
+            cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
+            res = cycle_separator(cfg)
+            tally[res.phase] = tally.get(res.phase, 0) + 1
+            if res.rule:
+                rules[res.rule] = rules.get(res.rule, 0) + 1
+            runs += 1
+    return {"tally": tally, "rules": rules, "runs": runs}
+
+
+def _e4_combine(payloads: List[Dict]) -> List[Dict]:
+    tally: Dict[str, int] = {}
+    rules: Dict[str, int] = {}
+    runs = 0
+    for part in payloads:
+        runs += part["runs"]
+        for phase, count in part["tally"].items():
+            tally[phase] = tally.get(phase, 0) + count
+        for rule, count in part["rules"].items():
+            rules[rule] = rules.get(rule, 0) + count
     rows = [
         {"phase": phase, "count": count, "fraction": count / runs}
         for phase, count in sorted(tally.items())
@@ -157,54 +266,105 @@ def e4_phases(seeds=range(8)) -> List[Dict]:
     return rows
 
 
-def e5_join(seed: int = 0) -> List[Dict]:
+@experiment(
+    "e4",
+    claim="Section 5.3 phase analysis",
+    title="E4 - separator phase histogram",
+    units=_e4_units,
+    run_unit=_e4_unit,
+    combine=_e4_combine,
+    small={"seeds": (0, 1)},
+)
+def e4_phases(seeds=range(8)) -> List[Dict]:
+    """E4 — §5.3: which phase of the machine emits the separator."""
+    return run_registered("e4", {"seeds": seeds})
+
+
+# -- E5: JOIN halving -------------------------------------------------------
+
+
+def _e5_units(sizes=(100, 225, 400, 900), seed: int = 0) -> List[Dict]:
+    return _scaling_units(("grid", "delaunay", "tri-grid"), sizes, seed)
+
+
+def _e5_unit(unit: Dict) -> List[Dict]:
+    _, g = workloads.scaled_instance(unit["family"], unit["n"], unit["seed"])
+    res = dfs_tree(g, min(g.nodes))
+    return [
+        {
+            "family": unit["family"],
+            "n": len(g),
+            "log2n": math.ceil(math.log2(len(g))),
+            "dfs_phases": res.phases,
+            "max_join_iterations": max(res.join_iterations or [0]),
+        }
+    ]
+
+
+@experiment(
+    "e5",
+    claim="Lemma 2",
+    title="E5 - JOIN halving iterations (Lemma 2)",
+    units=_e5_units,
+    run_unit=_e5_unit,
+    small={"sizes": (100, 225)},
+)
+def e5_join(sizes=(100, 225, 400, 900), seed: int = 0) -> List[Dict]:
     """E5 — Lemma 2: JOIN halving iterations stay logarithmic."""
-    rows: List[Dict] = []
-    for family in ("grid", "delaunay", "tri-grid"):
-        for n, g in workloads.scaling_series(family, [100, 225, 400, 900], seed=seed):
-            res = dfs_tree(g, min(g.nodes))
-            rows.append(
-                {
-                    "family": family,
-                    "n": len(g),
-                    "log2n": math.ceil(math.log2(len(g))),
-                    "dfs_phases": res.phases,
-                    "max_join_iterations": max(res.join_iterations or [0]),
-                }
-            )
-    return rows
+    return run_registered("e5", {"sizes": sizes, "seed": seed})
 
 
+# -- E6: shortcut quality ---------------------------------------------------
+
+
+def _e6_units(seed: int = 0) -> List[Dict]:
+    return [{"name": name, "seed": seed} for name in workloads.PARTITIONED_INSTANCES]
+
+
+def _e6_unit(unit: Dict) -> List[Dict]:
+    g, parts = workloads.partitioned_instance(unit["name"], unit["seed"])
+    diameter = nx.diameter(g)
+    sc = build_shortcuts(g, parts)
+    bound = diameter * max(1, math.ceil(math.log2(diameter + 1)))
+    return [
+        {
+            "instance": unit["name"],
+            "n": len(g),
+            "D": diameter,
+            "parts": len(parts),
+            "congestion": sc.congestion,
+            "dilation": sc.dilation,
+            "c+d": sc.congestion + sc.dilation,
+            "DlogD": bound,
+            "ratio": (sc.congestion + sc.dilation) / bound,
+        }
+    ]
+
+
+@experiment(
+    "e6",
+    claim="Proposition 2 / Ghaffari–Haeupler '16",
+    title="E6 - measured shortcut quality vs D log D",
+    units=_e6_units,
+    run_unit=_e6_unit,
+)
 def e6_shortcuts(seed: int = 0) -> List[Dict]:
     """E6 — Prop. 2 / GH'16: measured shortcut quality vs the D log D bound."""
-    rows: List[Dict] = []
-    for name, g, parts in workloads.partitioned_instances(seed):
-        diameter = nx.diameter(g)
-        sc = build_shortcuts(g, parts)
-        bound = diameter * max(1, math.ceil(math.log2(diameter + 1)))
-        rows.append(
-            {
-                "instance": name,
-                "n": len(g),
-                "D": diameter,
-                "parts": len(parts),
-                "congestion": sc.congestion,
-                "dilation": sc.dilation,
-                "c+d": sc.congestion + sc.dilation,
-                "DlogD": bound,
-                "ratio": (sc.congestion + sc.dilation) / bound,
-            }
-        )
-    return rows
+    return run_registered("e6", {"seed": seed})
 
 
-def e7_exactness(seeds=range(4)) -> List[Dict]:
-    """E7 — Lemmas 3/4 + Remark 1 + Lemma 8 sides: zero mismatches."""
+# -- E7: exactness of the deterministic formulas ----------------------------
+
+
+def _e7_units(seeds=range(4)) -> List[Dict]:
+    return [{"family": name, "seeds": list(seeds)} for name in workloads.SEPARATOR_SUITE]
+
+
+def _e7_unit(unit: Dict) -> Dict:
+    g = workloads.suite_instance(unit["family"], 0)
     faces = weight_bad = member_bad = side_bad = 0
-    for name, g in workloads.separator_suite(0):
-        if g.number_of_edges() < len(g):
-            continue
-        for seed in seeds:
+    if g.number_of_edges() >= len(g):  # trees have no fundamental faces
+        for seed in unit["seeds"]:
             root = seed % len(g)
             tree = bfs_tree(g, root) if seed % 2 == 0 else dfs_spanning_tree(g, root)
             cfg = PlanarConfiguration.build(g, root=root, tree=tree)
@@ -226,31 +386,60 @@ def e7_exactness(seeds=range(4)) -> List[Dict]:
                 outside = set(g.nodes) - interior - set(fv.border)
                 if left | right != outside or (left & right):
                     side_bad += 1
+    return {
+        "faces": faces,
+        "weight_bad": weight_bad,
+        "member_bad": member_bad,
+        "side_bad": side_bad,
+    }
+
+
+def _e7_combine(payloads: List[Dict]) -> List[Dict]:
+    total = {"faces": 0, "weight_bad": 0, "member_bad": 0, "side_bad": 0}
+    for part in payloads:
+        for field in total:
+            total[field] += part[field]
     return [
-        {"check": "Definition 2 weight == exact count (Lemmas 3/4)", "faces": faces, "mismatches": weight_bad},
-        {"check": "Remark 1 membership == interior", "faces": faces, "mismatches": member_bad},
-        {"check": "Lemma 8 side sets partition the outside", "faces": faces, "mismatches": side_bad},
+        {"check": "Definition 2 weight == exact count (Lemmas 3/4)", "faces": total["faces"], "mismatches": total["weight_bad"]},
+        {"check": "Remark 1 membership == interior", "faces": total["faces"], "mismatches": total["member_bad"]},
+        {"check": "Lemma 8 side sets partition the outside", "faces": total["faces"], "mismatches": total["side_bad"]},
     ]
 
 
-def e8_doubling(seed: int = 0) -> List[Dict]:
-    """E8 — Lemmas 11/13: fragment phases stay ~log n on Θ(n)-deep trees.
+@experiment(
+    "e7",
+    claim="Lemmas 3/4, Remark 1, Lemma 8",
+    title="E7 - exactness of the deterministic formulas",
+    units=_e7_units,
+    run_unit=_e7_unit,
+    combine=_e7_combine,
+    small={"seeds": (0, 1)},
+)
+def e7_exactness(seeds=range(4)) -> List[Dict]:
+    """E7 — Lemmas 3/4 + Remark 1 + Lemma 8 sides: zero mismatches."""
+    return run_registered("e7", {"seeds": seeds})
 
-    The ``merge_msg_rounds`` column is the *measured* message-level cost of
-    the fragment dynamic without shortcuts (floods pay fragment diameters,
-    so it grows like n on paths) — the gap between it and the logarithmic
-    phase count is precisely what Proposition 2's shortcuts buy.
-    """
+
+# -- E8: fragment doubling --------------------------------------------------
+
+
+def _e8_units(paths=(64, 256, 1024, 4096), grids=(8, 16, 24)) -> List[Dict]:
+    units = [{"kind": "path", "n": n} for n in paths]
+    units.extend({"kind": "grid", "side": side} for side in grids)
+    return units
+
+
+def _e8_unit(unit: Dict) -> List[Dict]:
     from ..congest.fragments_sim import fragment_merge_run
 
-    rows: List[Dict] = []
-    for n in (64, 256, 1024, 4096):
+    if unit["kind"] == "path":
+        n = unit["n"]
         g = gen.path_graph(n)
         cfg = PlanarConfiguration.build(g, root=0)
         orders = dfs_order_phases(cfg)
         mark = mark_path_phases(cfg, 0, n - 1)
         merge = fragment_merge_run(g, cfg.tree) if n <= 1024 else None
-        rows.append(
+        return [
             {
                 "tree": f"path-{n}",
                 "depth": n - 1,
@@ -260,57 +449,83 @@ def e8_doubling(seed: int = 0) -> List[Dict]:
                 "markpath_iterations": mark.iterations,
                 "merge_msg_rounds": merge.rounds if merge else "-",
             }
-        )
-    for side in (8, 16, 24):
-        g = gen.grid(side, side)
-        tree = dfs_spanning_tree(g, 0)
-        cfg = PlanarConfiguration.build(g, root=0, tree=tree)
-        orders = dfs_order_phases(cfg)
-        deepest = max(tree.depth, key=lambda v: tree.depth[v])
-        mark = mark_path_phases(cfg, 0, deepest)
-        from ..congest.fragments_sim import fragment_merge_run
-
-        merge = fragment_merge_run(g, cfg.tree)
-        rows.append(
-            {
-                "tree": f"grid-dfs-{side}x{side}",
-                "depth": tree.height(),
-                "log2n": math.ceil(math.log2(len(g))),
-                "order_phases": orders.phases,
-                "markpath_phases": mark.phases,
-                "markpath_iterations": mark.iterations,
-                "merge_msg_rounds": merge.rounds,
-            }
-        )
-    return rows
+        ]
+    side = unit["side"]
+    g = gen.grid(side, side)
+    tree = dfs_spanning_tree(g, 0)
+    cfg = PlanarConfiguration.build(g, root=0, tree=tree)
+    orders = dfs_order_phases(cfg)
+    deepest = max(tree.depth, key=lambda v: tree.depth[v])
+    mark = mark_path_phases(cfg, 0, deepest)
+    merge = fragment_merge_run(g, cfg.tree)
+    return [
+        {
+            "tree": f"grid-dfs-{side}x{side}",
+            "depth": tree.height(),
+            "log2n": math.ceil(math.log2(len(g))),
+            "order_phases": orders.phases,
+            "markpath_phases": mark.phases,
+            "markpath_iterations": mark.iterations,
+            "merge_msg_rounds": merge.rounds,
+        }
+    ]
 
 
-def e9_determinism(budgets=(2, 5, 10, 25, 75, 200), attempts: int = 40) -> List[Dict]:
-    """E9 — deterministic weights vs sampled weights (GP'17-style)."""
-    g = gen.delaunay(90, seed=2)
-    n = len(g)
-    rows: List[Dict] = []
-    for samples in budgets:
+@experiment(
+    "e8",
+    claim="Lemmas 11/13",
+    title="E8 - fragment phases on deep trees (Lemmas 11/13)",
+    units=_e8_units,
+    run_unit=_e8_unit,
+    small={"paths": (64, 256), "grids": (8,)},
+)
+def e8_doubling(paths=(64, 256, 1024, 4096), grids=(8, 16, 24)) -> List[Dict]:
+    """E8 — Lemmas 11/13: fragment phases stay ~log n on Θ(n)-deep trees.
+
+    The ``merge_msg_rounds`` column is the *measured* message-level cost of
+    the fragment dynamic without shortcuts (floods pay fragment diameters,
+    so it grows like n on paths) — the gap between it and the logarithmic
+    phase count is precisely what Proposition 2's shortcuts buy.
+    """
+    return run_registered("e8", {"paths": paths, "grids": grids})
+
+
+# -- E9: deterministic vs sampled weights -----------------------------------
+
+
+def _e9_units(budgets=(2, 5, 10, 25, 75, 200), attempts: int = 40) -> List[Dict]:
+    units = [
+        {"kind": "sampled", "samples": s, "attempts": attempts, "graph_seed": 2}
+        for s in budgets
+    ]
+    units.append({"kind": "deterministic", "graph_seed": 2})
+    return units
+
+
+def _e9_unit(unit: Dict) -> List[Dict]:
+    _, g = workloads.scaled_instance("delaunay", 90, unit["graph_seed"])
+    if unit["kind"] == "sampled":
+        attempts = unit["attempts"]
         misses = unbalanced = 0
         for seed in range(attempts):
-            out = randomized_separator(g, samples=samples, seed=seed)
+            out = randomized_separator(g, samples=unit["samples"], seed=seed)
             if out.separator is None:
                 misses += 1
             elif not separator_report(g, out.separator).balanced:
                 unbalanced += 1
-        rows.append(
+        return [
             {
-                "algorithm": f"sampled({samples})",
+                "algorithm": f"sampled({unit['samples']})",
                 "attempts": attempts,
                 "no_candidate": misses,
                 "unbalanced": unbalanced,
                 "failure_rate": (misses + unbalanced) / attempts,
             }
-        )
+        ]
     cfg = PlanarConfiguration.build(g, root=0)
     res = cycle_separator(cfg)
     ok = separator_report(g, res.path).balanced
-    rows.append(
+    return [
         {
             "algorithm": "deterministic (this paper)",
             "attempts": 1,
@@ -318,30 +533,111 @@ def e9_determinism(budgets=(2, 5, 10, 25, 75, 200), attempts: int = 40) -> List[
             "unbalanced": 0 if ok else 1,
             "failure_rate": 0.0 if ok else 1.0,
         }
-    )
-    return rows
+    ]
 
 
-def e10_recursion(seed: int = 0) -> List[Dict]:
+@experiment(
+    "e9",
+    claim="Deterministic weights vs Ghaffari–Parter '17 sampling",
+    title="E9 - sampled-weight failure rate vs budget",
+    units=_e9_units,
+    run_unit=_e9_unit,
+    small={"budgets": (2, 10, 50), "attempts": 10},
+)
+def e9_determinism(budgets=(2, 5, 10, 25, 75, 200), attempts: int = 40) -> List[Dict]:
+    """E9 — deterministic weights vs sampled weights (GP'17-style)."""
+    return run_registered("e9", {"budgets": budgets, "attempts": attempts})
+
+
+# -- E10: recursion depth ---------------------------------------------------
+
+
+def _e10_units(sizes=(100, 225, 400, 900), seed: int = 0) -> List[Dict]:
+    return _scaling_units(("grid", "delaunay", "cylinder"), sizes, seed)
+
+
+def _e10_unit(unit: Dict) -> List[Dict]:
+    _, g = workloads.scaled_instance(unit["family"], unit["n"], unit["seed"])
+    res = dfs_tree(g, min(g.nodes))
+    shrink = max(res.shrink_factors[:-1]) if len(res.shrink_factors) > 1 else 0.0
+    return [
+        {
+            "family": unit["family"],
+            "n": len(g),
+            "log2n": math.ceil(math.log2(len(g))),
+            "phases": res.phases,
+            "max_shrink_factor": shrink,
+            "bound": 2 / 3,
+        }
+    ]
+
+
+@experiment(
+    "e10",
+    claim="Theorem 2 / Section 6.2",
+    title="E10 - DFS main-loop phases and shrink factors",
+    units=_e10_units,
+    run_unit=_e10_unit,
+    small={"sizes": (100, 225)},
+)
+def e10_recursion(sizes=(100, 225, 400, 900), seed: int = 0) -> List[Dict]:
     """E10 — Theorem 2: O(log n) phases; components shrink by >= 1/3."""
-    rows: List[Dict] = []
-    for family in ("grid", "delaunay", "cylinder"):
-        for n, g in workloads.scaling_series(family, [100, 225, 400, 900], seed=seed):
-            res = dfs_tree(g, min(g.nodes))
-            shrink = max(res.shrink_factors[:-1]) if len(res.shrink_factors) > 1 else 0.0
-            rows.append(
-                {
-                    "family": family,
-                    "n": len(g),
-                    "log2n": math.ceil(math.log2(len(g))),
-                    "phases": res.phases,
-                    "max_shrink_factor": shrink,
-                    "bound": 2 / 3,
-                }
-            )
-    return rows
+    return run_registered("e10", {"sizes": sizes, "seed": seed})
 
 
+# -- E11: ablation ----------------------------------------------------------
+
+_E11_VARIANTS = [
+    ("full (as shipped)", ()),
+    ("no-phase3b", ("no-phase3b",)),
+    ("no-emit-check", ("no-emit-check",)),
+    ("paper-as-stated", ("no-phase3b", "no-emit-check")),
+]
+
+
+def _e11_units(seeds=range(6)) -> List[Dict]:
+    return [
+        {"variant": label, "ablation": list(ablation), "seeds": list(seeds)}
+        for label, ablation in _E11_VARIANTS
+    ]
+
+
+def _e11_unit(unit: Dict) -> List[Dict]:
+    ablation = frozenset(unit["ablation"])
+    runs = unbalanced = errors = 0
+    for name in workloads.SEPARATOR_SUITE:
+        g = workloads.suite_instance(name, 0)
+        for seed in unit["seeds"]:
+            root = seed % len(g)
+            for maker in (bfs_tree, dfs_spanning_tree):
+                cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
+                runs += 1
+                try:
+                    res = cycle_separator(cfg, ablation=ablation)
+                except Exception:
+                    errors += 1
+                    continue
+                if not separator_report(g, res.path).balanced:
+                    unbalanced += 1
+    return [
+        {
+            "variant": unit["variant"],
+            "runs": runs,
+            "unbalanced": unbalanced,
+            "errors": errors,
+            "failure_rate": (unbalanced + errors) / runs,
+        }
+    ]
+
+
+@experiment(
+    "e11",
+    claim="DESIGN.md §3 errata (this reproduction)",
+    title="E11 - ablation of the reproduction's repairs",
+    units=_e11_units,
+    run_unit=_e11_unit,
+    small={"seeds": (0, 1)},
+)
 def e11_ablation(seeds=range(6)) -> List[Dict]:
     """E11 — ablation: the reproduction's proof-gap repairs are load-bearing.
 
@@ -350,67 +646,102 @@ def e11_ablation(seeds=range(6)) -> List[Dict]:
     under ``no-phase3b`` / ``no-emit-check`` are exactly the degenerate
     spanning-tree cases documented in DESIGN.md §3.
     """
-    variants = [
-        ("full (as shipped)", frozenset()),
-        ("no-phase3b", frozenset({"no-phase3b"})),
-        ("no-emit-check", frozenset({"no-emit-check"})),
-        ("paper-as-stated", frozenset({"no-phase3b", "no-emit-check"})),
+    return run_registered("e11", {"seeds": seeds})
+
+
+# -- E12: separator hierarchies ---------------------------------------------
+
+
+def _e12_units(sizes=(100, 225, 400, 900), seed: int = 0) -> List[Dict]:
+    return _scaling_units(("grid", "delaunay", "tri-grid"), sizes, seed)
+
+
+def _e12_unit(unit: Dict) -> List[Dict]:
+    from ..applications import build_hierarchy
+
+    _, g = workloads.scaled_instance(unit["family"], unit["n"], unit["seed"])
+    hierarchy = build_hierarchy(g)
+    order = hierarchy.elimination_order()
+    assert sorted(order) == sorted(g.nodes)
+    return [
+        {
+            "family": unit["family"],
+            "n": len(g),
+            "log_1.5(n)": math.log(len(g), 1.5),
+            "depth": hierarchy.depth,
+            "top_separator": len(hierarchy.root_region.separator),
+        }
     ]
-    rows: List[Dict] = []
-    for label, ablation in variants:
-        runs = unbalanced = errors = 0
-        for name, g in workloads.separator_suite(0):
-            for seed in seeds:
-                root = seed % len(g)
-                for maker in (bfs_tree, dfs_spanning_tree):
-                    cfg = PlanarConfiguration.build(g, root=root, tree=maker(g, root))
-                    runs += 1
-                    try:
-                        res = cycle_separator(cfg, ablation=ablation)
-                    except Exception:
-                        errors += 1
-                        continue
-                    if not separator_report(g, res.path).balanced:
-                        unbalanced += 1
-        rows.append(
-            {
-                "variant": label,
-                "runs": runs,
-                "unbalanced": unbalanced,
-                "errors": errors,
-                "failure_rate": (unbalanced + errors) / runs,
-            }
-        )
-    return rows
 
 
-def e12_hierarchy(seed: int = 0) -> List[Dict]:
+@experiment(
+    "e12",
+    claim="Section 1 (divide and conquer)",
+    title="E12 - separator hierarchy depth vs log n",
+    units=_e12_units,
+    run_unit=_e12_unit,
+    small={"sizes": (100, 225)},
+)
+def e12_hierarchy(sizes=(100, 225, 400, 900), seed: int = 0) -> List[Dict]:
     """E12 — divide and conquer: separator hierarchies have O(log n) depth.
 
     The introduction's application: recursive decomposition with 2/3
     balance gives log_{3/2}(n)-depth hierarchies and a nested-dissection
     elimination order covering every node once.
     """
-    from ..applications import build_hierarchy
-
-    rows: List[Dict] = []
-    for family in ("grid", "delaunay", "tri-grid"):
-        for n, g in workloads.scaling_series(family, [100, 225, 400, 900], seed=seed):
-            hierarchy = build_hierarchy(g)
-            order = hierarchy.elimination_order()
-            assert sorted(order) == sorted(g.nodes)
-            rows.append(
-                {
-                    "family": family,
-                    "n": len(g),
-                    "log_1.5(n)": math.log(len(g), 1.5),
-                    "depth": hierarchy.depth,
-                    "top_separator": len(hierarchy.root_region.separator),
-                }
-            )
-    return rows
+    return run_registered("e12", {"sizes": sizes, "seed": seed})
 
 
+# -- E13: charge honesty ----------------------------------------------------
+
+_E13_CASES = ("grid-4p", "grid-10p", "grid-25p", "delaunay-6p", "delaunay-15p", "cylinder-8p")
+
+
+def _e13_case(name: str, seed: int):
+    makers = {
+        "grid-4p": (lambda: gen.grid(8, 8), 4),
+        "grid-10p": (lambda: gen.grid(10, 10), 10),
+        "grid-25p": (lambda: gen.grid(10, 10), 25),
+        "delaunay-6p": (lambda: gen.delaunay(100, seed=seed), 6),
+        "delaunay-15p": (lambda: gen.delaunay(150, seed=seed), 15),
+        "cylinder-8p": (lambda: gen.cylinder(4, 20), 8),
+    }
+    maker, k = makers[name]
+    return maker(), k
+
+
+def _e13_units(seed: int = 0) -> List[Dict]:
+    return [{"case": name, "seed": seed} for name in _E13_CASES]
+
+
+def _e13_unit(unit: Dict) -> List[Dict]:
+    from ..congest.partwise_sim import partwise_aggregation_run
+
+    g, k = _e13_case(unit["case"], unit["seed"])
+    nodes = sorted(g.nodes)
+    size = (len(nodes) + k - 1) // k
+    parts = [nodes[i : i + size] for i in range(0, len(nodes), size)]
+    values = {v: v % 11 for v in g.nodes}
+    run = partwise_aggregation_run(g, parts, values)
+    return [
+        {
+            "instance": unit["case"],
+            "n": len(g),
+            "parts": len(parts),
+            "measured_rounds": run.rounds,
+            "charged_c+d": run.charge,
+            "measured/charged": run.rounds / run.charge,
+        }
+    ]
+
+
+@experiment(
+    "e13",
+    claim="Execution model (DESIGN.md §1): charge soundness",
+    title="E13 - measured PA rounds vs ledger charge",
+    units=_e13_units,
+    run_unit=_e13_unit,
+)
 def e13_charge_honesty(seed: int = 0) -> List[Dict]:
     """E13 — cross-layer validation: the ledger's part-wise aggregation
     charge (c + d) upper-bounds the measured message-level rounds.
@@ -421,69 +752,67 @@ def e13_charge_honesty(seed: int = 0) -> List[Dict]:
     column must never exceed the charged one — otherwise every round count
     in E1/E2 would be suspect.
     """
-    from ..congest.partwise_sim import partwise_aggregation_run
+    return run_registered("e13", {"seed": seed})
 
-    rows: List[Dict] = []
-    cases = [
-        ("grid-4p", gen.grid(8, 8), 4),
-        ("grid-10p", gen.grid(10, 10), 10),
-        ("grid-25p", gen.grid(10, 10), 25),
-        ("delaunay-6p", gen.delaunay(100, seed=seed), 6),
-        ("delaunay-15p", gen.delaunay(150, seed=seed), 15),
-        ("cylinder-8p", gen.cylinder(4, 20), 8),
+
+# -- E14: separator sizes ---------------------------------------------------
+
+_E14_CASES = ("delaunay", "tri-grid", "grid", "apollonian", "random-planar-0.5", "outerplanar")
+
+
+def _e14_case(name: str, seed: int, profile: str):
+    small = profile == "small"
+    side = 10 if small else 15
+    makers = {
+        "delaunay": lambda: gen.delaunay(150 if small else 400, seed=seed),
+        "tri-grid": lambda: gen.triangulated_grid(side, side),
+        "grid": lambda: gen.grid(side, side),
+        "apollonian": lambda: gen.apollonian(5 if small else 7, seed=seed),
+        "random-planar-0.5": lambda: gen.random_planar(120 if small else 300, density=0.5, seed=seed),
+        "outerplanar": lambda: gen.outerplanar(80 if small else 200, chords=24 if small else 60, seed=seed),
+    }
+    return makers[name]()
+
+
+def _e14_units(seed: int = 0, profile: str = "default") -> List[Dict]:
+    return [{"case": name, "seed": seed, "profile": profile} for name in _E14_CASES]
+
+
+def _e14_unit(unit: Dict) -> List[Dict]:
+    from ..baselines import lipton_tarjan_separator
+
+    g = _e14_case(unit["case"], unit["seed"], unit["profile"])
+    root = min(g.nodes)
+    cfg = PlanarConfiguration.build(g, root=root)
+    ours = cycle_separator(cfg)
+    lt = lipton_tarjan_separator(g, root=root)
+    radius = nx.eccentricity(g, root)
+    return [
+        {
+            "family": unit["case"],
+            "n": len(g),
+            "sqrt_n": round(len(g) ** 0.5, 1),
+            "2r+1": 2 * radius + 1,
+            "ours": len(ours.path),
+            "ours_phase": ours.phase,
+            "lipton_tarjan": len(lt),
+        }
     ]
-    for name, g, k in cases:
-        nodes = sorted(g.nodes)
-        size = (len(nodes) + k - 1) // k
-        parts = [nodes[i : i + size] for i in range(0, len(nodes), size)]
-        values = {v: v % 11 for v in g.nodes}
-        run = partwise_aggregation_run(g, parts, values)
-        rows.append(
-            {
-                "instance": name,
-                "n": len(g),
-                "parts": len(parts),
-                "measured_rounds": run.rounds,
-                "charged_c+d": run.charge,
-                "measured/charged": run.rounds / run.charge,
-            }
-        )
-    return rows
 
 
-def e14_separator_sizes(seed: int = 0) -> List[Dict]:
+@experiment(
+    "e14",
+    claim="Lipton–Tarjan '79 size/structure trade-off",
+    title="E14 - separator sizes vs Lipton-Tarjan",
+    units=_e14_units,
+    run_unit=_e14_unit,
+    small={"profile": "small"},
+)
+def e14_separator_sizes(seed: int = 0, profile: str = "default") -> List[Dict]:
     """E14 — separator sizes: cycle separators vs Lipton-Tarjan's bound.
 
     Cycle separators trade the O(sqrt n) size guarantee for path structure;
     this table puts our sizes next to the centralized fundamental-cycle
     baseline and its 2*radius + 1 bound on triangulation-like inputs.
     """
-    from ..baselines import lipton_tarjan_separator
-
-    rows: List[Dict] = []
-    cases = [
-        ("delaunay", gen.delaunay(400, seed=seed)),
-        ("tri-grid", gen.triangulated_grid(15, 15)),
-        ("grid", gen.grid(15, 15)),
-        ("apollonian", gen.apollonian(7, seed=seed)),
-        ("random-planar-0.5", gen.random_planar(300, density=0.5, seed=seed)),
-        ("outerplanar", gen.outerplanar(200, chords=60, seed=seed)),
-    ]
-    for name, g in cases:
-        root = min(g.nodes)
-        cfg = PlanarConfiguration.build(g, root=root)
-        ours = cycle_separator(cfg)
-        lt = lipton_tarjan_separator(g, root=root)
-        radius = nx.eccentricity(g, root)
-        rows.append(
-            {
-                "family": name,
-                "n": len(g),
-                "sqrt_n": round(len(g) ** 0.5, 1),
-                "2r+1": 2 * radius + 1,
-                "ours": len(ours.path),
-                "ours_phase": ours.phase,
-                "lipton_tarjan": len(lt),
-            }
-        )
-    return rows
+    return run_registered("e14", {"seed": seed, "profile": profile})

@@ -1,0 +1,57 @@
+"""Provenance stamps shared by every result writer.
+
+Before this helper existed, ``benchmarks/_common.py::emit`` silently
+overwrote the tables under ``benchmarks/results/`` with no record of the
+producing commit; a stale table was indistinguishable from a fresh one.
+Both writers — the plain-text tables and the JSON artifacts of
+:mod:`repro.analysis.runner` — now stamp their output through this one
+module, so the commit/timestamp pair is reported identically everywhere
+(see ``docs/BENCHMARKS.md``, "Provenance").
+"""
+
+from __future__ import annotations
+
+import datetime
+import subprocess
+from typing import Dict, Optional
+
+__all__ = ["git_sha", "provenance", "stamp_header"]
+
+_sha: Optional[str] = None
+
+
+def git_sha() -> str:
+    """The producing commit (short SHA), or ``"unknown"`` outside a git
+    checkout.  Cached per process: one subprocess call, ever."""
+    global _sha
+    if _sha is None:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            _sha = out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _sha = "unknown"
+    return _sha
+
+
+def provenance() -> Dict[str, str]:
+    """The fields every artifact carries: producing commit + UTC time."""
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return {
+        "git_sha": git_sha(),
+        "generated_at": now.strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
+
+
+def stamp_header(tool: str) -> str:
+    """Comment header for plain-text tables (same fields as the JSON)."""
+    p = provenance()
+    return (
+        f"# generated-by: {tool}\n"
+        f"# git-sha: {p['git_sha']}\n"
+        f"# generated-at: {p['generated_at']}\n"
+    )

@@ -1,0 +1,368 @@
+"""The unified experiment runner (the benchmark contract's engine).
+
+This module executes registered experiments (:mod:`.registry`) and turns
+them into the machine-readable artifacts that ``docs/BENCHMARKS.md``
+documents:
+
+* **fan-out** — unit specs from all requested experiments are interleaved
+  onto one ``ProcessPoolExecutor`` (``parallel=N``); because unit plans
+  fix every seed before execution, parallel rows are bit-identical to
+  serial rows;
+* **caching** — unit results and instance artifacts go through the
+  content-addressed cache (:mod:`.cache`); cached units are satisfied in
+  the parent without touching the pool;
+* **measurement** — every unit records wall time and the executing
+  process's peak RSS (``ru_maxrss`` — a per-process high-water mark, so
+  an upper bound on the unit's own footprint);
+* **artifacts** — per-experiment ``e<N>.json`` files plus the
+  ``BENCH_SUMMARY.json`` rollup, all stamped with the producing commit via
+  :mod:`.provenance` and versioned with :data:`SCHEMA_VERSION`;
+* **regression gate** — :func:`compare_summaries` diffs two summaries'
+  round counts (integer fields matching :data:`ROUND_FIELD_RE`) under a
+  configurable tolerance (default 0); the CLI turns a non-empty diff into
+  a non-zero exit code.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import pathlib
+import re
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from . import cache as cache_mod
+from . import registry
+from .provenance import provenance, stamp_header
+from .tables import render_table
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ROUND_FIELD_RE",
+    "ExperimentRun",
+    "artifact_dict",
+    "compare_summaries",
+    "load_summary",
+    "run_experiments",
+    "summary_dict",
+    "write_artifacts",
+    "write_summary",
+    "write_table",
+]
+
+#: Version of the JSON artifact schema (bump on breaking field changes and
+#: document the migration in docs/BENCHMARKS.md).
+SCHEMA_VERSION = 1
+
+#: Integer row fields with these substrings in their name are "round
+#: counts" for the regression gate (rounds, phases, iterations).
+ROUND_FIELD_RE = re.compile(r"(rounds|phases|iterations)")
+
+
+@dataclass
+class ExperimentRun:
+    """One executed experiment: rows plus execution metadata."""
+
+    key: str
+    claim: str
+    title: str
+    params: Dict[str, Any]
+    rows: List[Dict]
+    unit_timings: List[Dict[str, Any]]
+    wall_s: float
+    mode: str
+    workers: int
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+
+
+# -- execution --------------------------------------------------------------
+
+
+def _measure_unit(spec: registry.ExperimentSpec, unit: Dict) -> Tuple[Any, Dict[str, Any]]:
+    start = time.perf_counter()
+    payload = spec.run_unit_fn(unit)
+    timing = {
+        "unit": registry.jsonable(unit),
+        "wall_s": round(time.perf_counter() - start, 6),
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "cached": False,
+    }
+    return payload, timing
+
+
+def _pool_init(cache_dir: Optional[str], enabled: bool, version: str) -> None:
+    # Workers mirror the parent's cache configuration so instance
+    # artifacts (graphs, diameters, shortcut qualities) are shared.
+    if cache_dir is not None:
+        cache_mod.set_cache(cache_mod.InstanceCache(cache_dir, enabled=enabled, version=version))
+
+
+def _pool_run(key: str, index: int, unit: Dict) -> Tuple[str, int, Any, Dict[str, Any]]:
+    payload, timing = _measure_unit(registry.get(key), unit)
+    return key, index, payload, timing
+
+
+def run_experiments(
+    keys: Sequence[str],
+    *,
+    parallel: int = 0,
+    grid: str = "default",
+    overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+    cache: Optional[cache_mod.InstanceCache] = None,
+) -> Dict[str, ExperimentRun]:
+    """Run experiments and return ``{key: ExperimentRun}`` in key order.
+
+    Parameters
+    ----------
+    keys:
+        Experiment keys (``"e1"`` …); see :func:`registry.all_keys`.
+    parallel:
+        Worker processes for unit fan-out; ``0``/``1`` runs serially in
+        this process.  Units of *all* requested experiments share the pool.
+    grid:
+        ``"default"`` or ``"small"`` (the CI grid) — selects the
+        registered parameter set before ``overrides`` are applied.
+    overrides:
+        Optional per-experiment parameter overrides,
+        ``{"e1": {"sizes": (100,)}}``.
+    cache:
+        Artifact/unit cache; installed as the process-wide active cache
+        for the duration of the call (and mirrored into pool workers).
+    """
+    specs = {key: registry.get(key) for key in keys}
+    params = {
+        key: registry.resolve_params(spec, (overrides or {}).get(key), grid)
+        for key, spec in specs.items()
+    }
+    plans = {key: registry.plan_units(spec, params[key]) for key, spec in specs.items()}
+
+    previous = cache_mod.set_cache(cache)
+    started = {key: time.perf_counter() for key in keys}
+    payloads: Dict[str, List[Any]] = {key: [None] * len(plans[key]) for key in keys}
+    timings: Dict[str, List[Optional[Dict]]] = {key: [None] * len(plans[key]) for key in keys}
+    try:
+        pending: List[Tuple[str, int, Dict]] = []
+        for key in keys:
+            spec = specs[key]
+            for index, unit in enumerate(plans[key]):
+                hit, value = (False, None)
+                if cache is not None:
+                    hit, value = cache.get("unit", registry.unit_cache_key(spec, unit))
+                if hit:
+                    payloads[key][index] = value
+                    timings[key][index] = {
+                        "unit": registry.jsonable(unit),
+                        "wall_s": 0.0,
+                        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                        "cached": True,
+                    }
+                else:
+                    pending.append((key, index, unit))
+
+        if parallel and parallel > 1 and pending:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=parallel,
+                initializer=_pool_init,
+                initargs=(
+                    str(cache.root) if cache is not None else None,
+                    cache.enabled if cache is not None else False,
+                    cache.version if cache is not None else cache_mod.code_version(),
+                ),
+            ) as pool:
+                futures = [pool.submit(_pool_run, key, index, unit) for key, index, unit in pending]
+                for future in concurrent.futures.as_completed(futures):
+                    key, index, payload, timing = future.result()
+                    payloads[key][index] = payload
+                    timings[key][index] = timing
+                    if cache is not None:
+                        cache.put(
+                            "unit",
+                            registry.unit_cache_key(specs[key], plans[key][index]),
+                            payload,
+                        )
+        else:
+            for key, index, unit in pending:
+                payload, timing = _measure_unit(specs[key], unit)
+                payloads[key][index] = payload
+                timings[key][index] = timing
+                if cache is not None:
+                    cache.put("unit", registry.unit_cache_key(specs[key], unit), payload)
+    finally:
+        cache_mod.set_cache(previous)
+
+    runs: Dict[str, ExperimentRun] = {}
+    for key in keys:
+        spec = specs[key]
+        runs[key] = ExperimentRun(
+            key=key,
+            claim=spec.claim,
+            title=spec.title,
+            params=registry.jsonable(params[key]),
+            rows=spec.combine(payloads[key]),
+            unit_timings=[t for t in timings[key] if t is not None],
+            wall_s=round(time.perf_counter() - started[key], 6),
+            mode="parallel" if parallel and parallel > 1 else "serial",
+            workers=parallel if parallel and parallel > 1 else 1,
+            cache_stats=cache.stats() if cache is not None else {"enabled": False},
+        )
+    return runs
+
+
+# -- artifacts --------------------------------------------------------------
+
+
+def artifact_dict(run: ExperimentRun) -> Dict[str, Any]:
+    """The per-experiment JSON artifact (schema in docs/BENCHMARKS.md)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": run.key,
+        "claim_ref": run.claim,
+        "title": run.title,
+        "params": run.params,
+        "rows": run.rows,
+        "timings": {
+            "total_wall_s": run.wall_s,
+            "units_wall_s": round(sum(t["wall_s"] for t in run.unit_timings), 6),
+            "units": run.unit_timings,
+        },
+        "trace_stats": {
+            "units": len(run.unit_timings),
+            "units_cached": sum(1 for t in run.unit_timings if t["cached"]),
+            "mode": run.mode,
+            "workers": run.workers,
+            "cache": run.cache_stats,
+        },
+        **provenance(),
+    }
+
+
+def write_table(path: "pathlib.Path | str", rows: List[Dict], title: str) -> str:
+    """Render one provenance-stamped plain-text table and write it."""
+    text = stamp_header("repro.analysis.runner") + render_table(rows, title)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return text
+
+
+def write_artifacts(
+    runs: Dict[str, ExperimentRun],
+    results_dir: "pathlib.Path | str",
+    *,
+    json_only: bool = False,
+) -> List[pathlib.Path]:
+    """Write ``e<N>.json`` (and, unless ``json_only``, ``e<N>.txt``) for
+    every run; returns the written paths."""
+    results_dir = pathlib.Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for key, run in runs.items():
+        json_path = results_dir / f"{key}.json"
+        json_path.write_text(json.dumps(artifact_dict(run), indent=2, default=str) + "\n")
+        written.append(json_path)
+        if not json_only:
+            txt_path = results_dir / f"{key}.txt"
+            write_table(txt_path, run.rows, run.title)
+            written.append(txt_path)
+    return written
+
+
+def summary_dict(runs: Dict[str, ExperimentRun], *, grid: str = "default") -> Dict[str, Any]:
+    """The ``BENCH_SUMMARY.json`` rollup: every experiment's rows and
+    timing headline in one self-describing file (the ``--compare`` input)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "grid": grid,
+        **provenance(),
+        "experiments": {
+            key: {
+                "claim_ref": run.claim,
+                "title": run.title,
+                "params": run.params,
+                "rows": run.rows,
+                "total_wall_s": run.wall_s,
+                "units": len(run.unit_timings),
+                "units_cached": sum(1 for t in run.unit_timings if t["cached"]),
+            }
+            for key, run in runs.items()
+        },
+    }
+
+
+def write_summary(
+    path: "pathlib.Path | str", runs: Dict[str, ExperimentRun], *, grid: str = "default"
+) -> Dict[str, Any]:
+    """Write the rollup and return it."""
+    summary = summary_dict(runs, grid=grid)
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary, indent=2, default=str) + "\n")
+    return summary
+
+
+def load_summary(path: "pathlib.Path | str") -> Dict[str, Any]:
+    """Load a summary (or per-experiment artifact) JSON file."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# -- the regression gate ----------------------------------------------------
+
+
+def _round_fields(row: Dict[str, Any]) -> Dict[str, int]:
+    return {
+        name: value
+        for name, value in row.items()
+        if isinstance(value, int)
+        and not isinstance(value, bool)
+        and ROUND_FIELD_RE.search(name)
+    }
+
+
+def compare_summaries(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    tolerance: int = 0,
+) -> List[str]:
+    """Diff two summaries' round counts; returns human-readable problems.
+
+    The contract (docs/BENCHMARKS.md, "Regression gate"): every experiment
+    present in the baseline must be present in the current summary with
+    the same number of rows, and every *integer* field whose name contains
+    ``rounds``/``phases``/``iterations`` must match the baseline value
+    within ``tolerance`` (absolute rounds; default 0 — the algorithms are
+    deterministic, so any drift is a behavior change).  Non-round fields
+    and extra experiments in the current summary are not regressions.
+    """
+    problems: List[str] = []
+    base_experiments = baseline.get("experiments", {})
+    cur_experiments = current.get("experiments", {})
+    for key in sorted(base_experiments, key=lambda k: (len(k), k)):
+        base = base_experiments[key]
+        cur = cur_experiments.get(key)
+        if cur is None:
+            problems.append(f"{key}: missing from current results")
+            continue
+        base_rows, cur_rows = base.get("rows", []), cur.get("rows", [])
+        if len(base_rows) != len(cur_rows):
+            problems.append(
+                f"{key}: row count changed ({len(base_rows)} -> {len(cur_rows)})"
+            )
+            continue
+        for i, (brow, crow) in enumerate(zip(base_rows, cur_rows)):
+            for name, bval in _round_fields(brow).items():
+                cval = crow.get(name)
+                if not isinstance(cval, int) or isinstance(cval, bool):
+                    problems.append(f"{key} row {i}: {name} missing or non-integer (was {bval})")
+                    continue
+                if abs(cval - bval) > tolerance:
+                    problems.append(
+                        f"{key} row {i}: {name} {bval} -> {cval} "
+                        f"(|delta| {abs(cval - bval)} > tolerance {tolerance})"
+                    )
+    return problems

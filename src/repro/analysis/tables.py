@@ -1,4 +1,11 @@
-"""Plain-text table rendering shared by the experiment harness."""
+"""Plain-text table rendering shared by the experiment harness.
+
+Every E1–E14 table (DESIGN.md §4) is rendered through
+:func:`render_table`: the CLI prints it, the runner's
+:func:`repro.analysis.runner.write_table` persists it under
+``benchmarks/results/`` with a provenance header, and
+:mod:`repro.analysis.report` embeds it in EXPERIMENTS.md — one renderer,
+so the three outputs can be diffed against each other."""
 
 from __future__ import annotations
 

@@ -7,19 +7,27 @@ Four commands, mirroring the library's public entry points:
 * ``dfs`` — Theorem 2, with verification, phase stats and the Awerbuch
   comparison;
 * ``hierarchy`` — the recursive separator decomposition;
-* ``experiment`` — regenerate any of the DESIGN.md §4 experiment tables
-  (``e1`` … ``e14``, or ``all`` / ``all --write`` to rebuild EXPERIMENTS.md).
+* ``experiment`` — run any of the DESIGN.md §4 experiments (``e1`` …
+  ``e14``, or ``all``) through the unified runner
+  (:mod:`repro.analysis.runner`): parallel unit fan-out (``--parallel N``),
+  on-disk instance/unit caching (``--no-cache`` to bypass), JSON artifacts
+  (``benchmarks/results/e*.json`` + ``BENCH_SUMMARY.json``; ``--json-only``
+  to skip tables), the quick CI grid (``--grid small``), the regression
+  gate (``--compare BASELINE.json``, non-zero exit on round-count drift)
+  and EXPERIMENTS.md regeneration (``all --write``).  The full contract is
+  documented in ``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Callable, Dict
 
 import networkx as nx
 
-from .analysis import experiments, render_table
+from .analysis import render_table
 from .congest import CostModel, RoundLedger, awerbuch_dfs_run
 from .core.config import PlanarConfiguration
 from .core.dfs import dfs_tree
@@ -113,26 +121,69 @@ def _cmd_hierarchy(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    name = args.id.lower()
-    runners = {
-        full.split("_")[0]: getattr(experiments, full)
-        for full in experiments.__all__
-    }
-    if name == "all":
-        if getattr(args, "write", False):
-            from .analysis.report import write_experiments_md
+    from .analysis import registry, runner
+    from .analysis.cache import InstanceCache
 
-            text = write_experiments_md()
-            print(f"EXPERIMENTS.md regenerated ({len(text)} characters)")
-            return 0
-        for key in sorted(runners, key=lambda k: int(k[1:])):
-            rows = runners[key]()
-            print(render_table(rows, f"{key.upper()} ({runners[key].__doc__.splitlines()[0]})"))
-        return 0
-    if name not in runners:
-        raise SystemExit(f"unknown experiment {args.id!r}; choose from {sorted(runners)} or 'all'")
-    rows = runners[name]()
-    print(render_table(rows, f"{name.upper()} ({runners[name].__doc__.splitlines()[0]})"))
+    name = args.id.lower()
+    known = registry.all_keys()
+    if name != "all" and name not in known:
+        raise SystemExit(f"unknown experiment {args.id!r}; choose from {known} or 'all'")
+    keys = known if name == "all" else [name]
+
+    # Artifacts land in benchmarks/results (when run from the repo root)
+    # or wherever --results-dir points; a single experiment without an
+    # explicit destination stays print-only, as before.
+    results_dir = args.results_dir
+    if results_dir is None and (name == "all" or args.json_only):
+        if pathlib.Path("benchmarks").is_dir():
+            results_dir = "benchmarks/results"
+        elif args.json_only:
+            raise SystemExit("--json-only needs benchmarks/ in the cwd or --results-dir")
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir
+        if cache_dir is None and pathlib.Path("benchmarks").is_dir():
+            cache_dir = "benchmarks/.cache"
+        if cache_dir is not None:
+            cache = InstanceCache(cache_dir)
+
+    runs = runner.run_experiments(keys, parallel=args.parallel, grid=args.grid, cache=cache)
+
+    if not args.json_only:
+        for key in keys:
+            spec = registry.get(key)
+            print(render_table(runs[key].rows, spec.title))
+    if results_dir is not None:
+        written = runner.write_artifacts(runs, results_dir, json_only=args.json_only)
+        print(f"wrote {len(written)} artifact(s) under {results_dir}")
+
+    summary = None
+    if name == "all" or args.summary is not None:
+        summary_path = args.summary or "BENCH_SUMMARY.json"
+        summary = runner.write_summary(summary_path, runs, grid=args.grid)
+        print(f"wrote {summary_path}")
+    else:
+        summary = runner.summary_dict(runs, grid=args.grid)
+
+    if getattr(args, "write", False):
+        from .analysis.report import write_experiments_md
+
+        tables = {
+            key: render_table(runs[key].rows, registry.get(key).title) for key in keys
+        }
+        text = write_experiments_md(tables=tables)
+        print(f"EXPERIMENTS.md regenerated ({len(text)} characters)")
+
+    if args.compare is not None:
+        baseline = runner.load_summary(args.compare)
+        problems = runner.compare_summaries(summary, baseline, tolerance=args.tolerance)
+        if problems:
+            print(f"REGRESSION vs {args.compare} ({len(problems)} problem(s)):")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"compare vs {args.compare}: OK (tolerance {args.tolerance})")
     return 0
 
 
@@ -166,8 +217,33 @@ def main(argv=None) -> int:
     add_instance_args(p_h)
     p_h.set_defaults(func=_cmd_hierarchy)
 
-    p_e = sub.add_parser("experiment", help="regenerate an experiment table")
+    p_e = sub.add_parser(
+        "experiment",
+        help="run experiments through the runner (tables + JSON artifacts)",
+        description="Run DESIGN.md §4 experiments via repro.analysis.runner. "
+        "See docs/BENCHMARKS.md for the artifact schema, cache semantics and "
+        "the --compare regression contract.",
+    )
     p_e.add_argument("id", help="e1 .. e14, or 'all'")
+    p_e.add_argument("--parallel", type=int, default=0, metavar="N",
+                     help="fan units out over N worker processes (0/1 = serial)")
+    p_e.add_argument("--grid", choices=["default", "small"], default="default",
+                     help="parameter grid; 'small' is the quick CI grid")
+    p_e.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk instance/unit cache")
+    p_e.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache location (default benchmarks/.cache when present)")
+    p_e.add_argument("--json-only", action="store_true",
+                     help="write only JSON artifacts; no tables on stdout or disk")
+    p_e.add_argument("--results-dir", default=None, metavar="DIR",
+                     help="artifact destination (default benchmarks/results for 'all')")
+    p_e.add_argument("--summary", default=None, metavar="PATH",
+                     help="rollup path (default BENCH_SUMMARY.json for 'all')")
+    p_e.add_argument("--compare", default=None, metavar="BASELINE.json",
+                     help="diff round counts against a baseline summary; "
+                     "non-zero exit on drift")
+    p_e.add_argument("--tolerance", type=int, default=0, metavar="ROUNDS",
+                     help="allowed absolute round-count drift for --compare (default 0)")
     p_e.add_argument("--write", action="store_true",
                      help="with 'all': regenerate EXPERIMENTS.md")
     p_e.set_defaults(func=_cmd_experiment)
