@@ -41,8 +41,10 @@ __all__ = [
     "get",
     "jsonable",
     "plan_units",
+    "register_spec",
     "resolve_params",
     "run_registered",
+    "unregister",
 ]
 
 
@@ -135,10 +137,36 @@ def _ensure_loaded() -> None:
     from . import experiments  # noqa: F401
 
 
+def _key_order(key: str):
+    # e1 … e14 sort numerically; anything else (e.g. a test-injected
+    # chaos experiment) sorts after them, lexicographically.
+    if key.startswith("e") and key[1:].isdigit():
+        return (0, int(key[1:]), key)
+    return (1, 0, key)
+
+
 def all_keys() -> List[str]:
     """Registered experiment keys in numeric order (e1 … e14)."""
     _ensure_loaded()
-    return sorted(_REGISTRY, key=lambda k: int(k[1:]))
+    return sorted(_REGISTRY, key=_key_order)
+
+
+def register_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register a fully-built spec directly (test harnesses, chaos units).
+
+    The decorator is the normal road; this is the side door that lets a
+    test inject a synthetic experiment and :func:`unregister` it again
+    without import-time side effects.
+    """
+    if spec.key in _REGISTRY:
+        raise ValueError(f"experiment {spec.key!r} registered twice")
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+def unregister(key: str) -> None:
+    """Remove a registration (no-op for unknown keys)."""
+    _REGISTRY.pop(key, None)
 
 
 def get(key: str) -> ExperimentSpec:

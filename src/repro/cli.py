@@ -148,7 +148,20 @@ def _cmd_experiment(args) -> int:
         if cache_dir is not None:
             cache = InstanceCache(cache_dir)
 
-    runs = runner.run_experiments(keys, parallel=args.parallel, grid=args.grid, cache=cache)
+    runs = runner.run_experiments(
+        keys,
+        parallel=args.parallel,
+        grid=args.grid,
+        cache=cache,
+        unit_timeout=args.unit_timeout,
+        retries=args.retries,
+    )
+    partial = sorted(key for key, run in runs.items() if run.status != "ok")
+    if partial:
+        print(
+            f"WARNING: {len(partial)} experiment(s) did not finish cleanly "
+            f"({', '.join(partial)}); artifacts are annotated as partial"
+        )
 
     if not args.json_only:
         for key in keys:
@@ -233,6 +246,14 @@ def main(argv=None) -> int:
                      help="bypass the on-disk instance/unit cache")
     p_e.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="cache location (default benchmarks/.cache when present)")
+    p_e.add_argument("--unit-timeout", type=float, default=None, metavar="SECONDS",
+                     dest="unit_timeout",
+                     help="wall-clock budget per unit; overruns are recorded "
+                     "as 'timeout' instead of hanging the run (forces pool "
+                     "mode)")
+    p_e.add_argument("--retries", type=int, default=1, metavar="N",
+                     help="extra attempts for a unit that raises or whose "
+                     "worker dies (default 1)")
     p_e.add_argument("--json-only", action="store_true",
                      help="write only JSON artifacts; no tables on stdout or disk")
     p_e.add_argument("--results-dir", default=None, metavar="DIR",

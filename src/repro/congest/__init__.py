@@ -1,7 +1,21 @@
 """CONGEST substrate: message-level simulator + charged round ledger."""
 
-from .algorithms import bfs_run, broadcast_run, convergecast_run
-from .awerbuch import awerbuch_dfs, awerbuch_dfs_run
+from .algorithms import (
+    bfs_run,
+    broadcast_run,
+    convergecast_run,
+    resilient_broadcast_run,
+    resilient_convergecast_run,
+)
+from .awerbuch import awerbuch_dfs, awerbuch_dfs_run, resilient_dfs_run
+from .faults import (
+    CrashFault,
+    FailureReport,
+    FaultPlan,
+    LinkDown,
+    diagnose_run,
+    run_fingerprint,
+)
 from .ledger import CostModel, RoundLedger
 from .fragments_sim import FragmentRun, MarkPathMergeRun, fragment_merge_run, mark_path_merge_run
 from .mst import MSTRun, boruvka_mst_run
@@ -19,7 +33,11 @@ from .trace import RoundRecord, RoundTrace, read_jsonl
 __all__ = [
     "CongestViolation",
     "CostModel",
+    "CrashFault",
+    "FailureReport",
+    "FaultPlan",
     "FragmentRun",
+    "LinkDown",
     "MarkPathMergeRun",
     "MSTRun",
     "PartwiseRun",
@@ -33,6 +51,7 @@ __all__ = [
     "awerbuch_dfs",
     "awerbuch_dfs_run",
     "bfs_run",
+    "diagnose_run",
     "fragment_merge_run",
     "boruvka_mst_run",
     "mark_path_merge_run",
@@ -40,6 +59,10 @@ __all__ = [
     "partwise_broadcast_run",
     "payload_words",
     "read_jsonl",
+    "resilient_broadcast_run",
+    "resilient_convergecast_run",
+    "resilient_dfs_run",
+    "run_fingerprint",
     "weights_problem_run",
     "broadcast_run",
     "convergecast_run",

@@ -17,12 +17,13 @@ from typing import Any, Dict, Hashable, Optional, Tuple
 
 import networkx as nx
 
+from .faults import FailureReport, FaultPlan, diagnose_run
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
 
 Node = Hashable
 
-__all__ = ["awerbuch_dfs_run", "awerbuch_dfs"]
+__all__ = ["awerbuch_dfs_run", "awerbuch_dfs", "resilient_dfs_run"]
 
 # message kinds
 _VISITED = 0  # "I have been visited" notification
@@ -31,7 +32,11 @@ _RETURN = 2   # token returning to the parent
 
 
 def awerbuch_dfs_run(
-    graph: nx.Graph, root: Node, trace: Optional[RoundTrace] = None
+    graph: nx.Graph,
+    root: Node,
+    trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run Awerbuch's DFS; each node outputs ``(parent, depth)``."""
 
@@ -101,7 +106,7 @@ def awerbuch_dfs_run(
     network = Network(graph)
     result = network.run(
         init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize,
-        trace=trace,
+        trace=trace, scheduler=scheduler, faults=faults,
     )
     return result
 
@@ -117,3 +122,79 @@ def awerbuch_dfs(graph: nx.Graph, root: Node) -> Tuple[Dict[Node, Optional[Node]
     result = awerbuch_dfs_run(graph, root)
     parent = {v: out[0] for v, out in result.outputs.items()}
     return parent, result.rounds
+
+
+def resilient_dfs_run(
+    graph: nx.Graph,
+    root: Node,
+    trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults: Optional[FaultPlan] = None,
+) -> Tuple[RunResult, Optional[FailureReport]]:
+    """Awerbuch's DFS under faults, with graceful abort instead of a hang.
+
+    A DFS token is a single point of failure: if its holder crashes or a
+    token/return message is destroyed, the traversal can never finish —
+    no retransmit can conjure the token back without breaking the
+    depth-first order.  This wrapper therefore does not mask faults; it
+    *detects* the three ways a faulted traversal goes wrong and converts
+    each into a :class:`~repro.congest.faults.FailureReport`:
+
+    * the run deadlocks or hits ``max_rounds`` (orphaned token) —
+      reported with reason ``"deadlock"``/``"max_rounds"``;
+    * a surviving node finished without joining the tree — reason
+      ``"missing-outputs"``;
+    * the traversal completed but the parent map fails
+      :func:`repro.core.verify.check_component_dfs` on the surviving
+      component — reason ``"verify-failed"``.
+
+    Returns ``(result, report)``; ``report is None`` means the run
+    completed *and* the surviving component's tree verified as a DFS
+    tree.
+    """
+    result = awerbuch_dfs_run(
+        graph, root, trace=trace, scheduler=scheduler, faults=faults
+    )
+    report = diagnose_run(result, kind="dfs", require_outputs=False)
+    if report is not None:
+        return result, report
+    crashed = set(result.crashed)
+    unfinished = tuple(
+        sorted(
+            (
+                v
+                for v, out in result.outputs.items()
+                if v not in crashed and (out is None or (v != root and out[0] is None))
+            ),
+            key=repr,
+        )
+    )
+    if unfinished:
+        return result, FailureReport(
+            kind="dfs",
+            reason="missing-outputs",
+            rounds=result.rounds,
+            stop_reason=result.stop_reason,
+            crashed=tuple(result.crashed),
+            missing=unfinished,
+            detail=f"{len(unfinished)} surviving node(s) never joined the DFS tree",
+            partial_outputs=dict(result.outputs),
+        )
+    from ..core.verify import VerificationError, check_component_dfs
+
+    parent = {
+        v: out[0] for v, out in result.outputs.items() if v not in crashed and out is not None
+    }
+    try:
+        check_component_dfs(graph, parent, root, crashed=result.crashed)
+    except VerificationError as exc:
+        return result, FailureReport(
+            kind="dfs",
+            reason="verify-failed",
+            rounds=result.rounds,
+            stop_reason=result.stop_reason,
+            crashed=tuple(result.crashed),
+            detail=str(exc),
+            partial_outputs=dict(result.outputs),
+        )
+    return result, None

@@ -1,0 +1,363 @@
+"""Deterministic, seed-driven fault injection for the CONGEST simulator.
+
+The paper's Theorems 1 and 2 assume a fault-free synchronous network; this
+module is the controlled way to break that assumption.  A
+:class:`FaultPlan` describes *which* faults occur — per-edge message drops
+and duplications, link down-intervals, and crash-stop node failures — and
+every probabilistic decision is a pure function of ``(seed, kind, src,
+dst, round)``, so identical seeds yield bit-identical runs.  Faults are
+never ambient: a run with no plan and a run with an *empty* plan execute
+identically (locked by ``tests/test_faults.py``), and replaying a plan
+reproduces every loss, echo and crash at the same round, on both the
+``active`` and ``dense`` schedulers.
+
+Fault semantics (see docs/MODEL.md, "The fault model"):
+
+* **drop** — a message sent over a directed edge in a scheduled (or
+  coin-chosen) round is destroyed in flight; the sender still paid the
+  bandwidth (counted in ``messages_sent``), the loss is surfaced via
+  ``RunResult.lost_messages`` and the trace.
+* **duplicate** — the message is delivered normally *and* an extra copy
+  arrives one round later (a stutter duplicate, the classic at-least-once
+  network artifact).
+* **link down-interval** — an undirected edge loses every message, in both
+  directions, for a closed round interval.
+* **crash-stop** — a node executes rounds ``< r`` and is then silent
+  forever: it is never dispatched again, sends nothing, records no output,
+  and mail addressed to it is lost.  Crashed nodes count as "done" for
+  run-termination purposes (they have left the protocol).
+
+:class:`FailureReport` is the graceful-abort half: a structured account of
+a run that could not complete under faults, returned by
+:func:`diagnose_run` (and by the resilience wrappers in
+:mod:`.algorithms` / :mod:`.awerbuch`) instead of a hang or a silent
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+Node = Hashable
+
+__all__ = [
+    "CrashFault",
+    "LinkDown",
+    "FaultPlan",
+    "FailureReport",
+    "diagnose_run",
+    "run_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash-stop failure: ``node`` never executes round ``round`` or later."""
+
+    node: Node
+    round: int
+
+    def __post_init__(self):
+        if self.round < 1:
+            raise ValueError(f"crash round must be >= 1, got {self.round}")
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Undirected edge ``(u, v)`` loses all messages sent in rounds
+    ``start..end`` (inclusive, both directions)."""
+
+    u: Node
+    v: Node
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.start < 1 or self.end < self.start:
+            raise ValueError(f"bad down-interval [{self.start}, {self.end}]")
+
+
+def _coin(seed: int, kind: str, src: Node, dst: Node, rnd: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one (edge, round) decision.
+
+    Keyed on the *message identity* — in CONGEST at most one message
+    crosses a directed edge per round — never on scheduling order, so the
+    draw is identical across schedulers and across replays.
+    """
+    payload = f"{seed}|{kind}|{src!r}|{dst!r}|{rnd}".encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A deterministic fault schedule for one simulated run.
+
+    Parameters
+    ----------
+    seed:
+        The single seed every rate-based coin derives from.
+    drop_rate / duplicate_rate:
+        Per-(directed edge, round) probabilities, decided by
+        :func:`_coin` — replayable, scheduler-independent.
+    drops / duplicates:
+        Explicit schedules: iterables of ``(src, dst, round)`` directed
+        entries that fire regardless of the rates.
+    crashes:
+        Iterable of :class:`CrashFault` or ``(node, round)`` pairs.
+    link_downs:
+        Iterable of :class:`LinkDown` or ``(u, v, start, end)`` tuples.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        drops: Iterable[Tuple[Node, Node, int]] = (),
+        duplicates: Iterable[Tuple[Node, Node, int]] = (),
+        crashes: Iterable = (),
+        link_downs: Iterable = (),
+    ):
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        if not 0.0 <= duplicate_rate <= 1.0:
+            raise ValueError(f"duplicate_rate must be in [0, 1], got {duplicate_rate}")
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.drops: FrozenSet[Tuple[Node, Node, int]] = frozenset(
+            (s, d, r) for s, d, r in drops
+        )
+        self.duplicates: FrozenSet[Tuple[Node, Node, int]] = frozenset(
+            (s, d, r) for s, d, r in duplicates
+        )
+        self.crashes: Tuple[CrashFault, ...] = tuple(
+            c if isinstance(c, CrashFault) else CrashFault(*c) for c in crashes
+        )
+        seen: Dict[Node, int] = {}
+        for c in self.crashes:
+            if c.node in seen and seen[c.node] != c.round:
+                raise ValueError(f"node {c.node!r} crashes at two different rounds")
+            seen[c.node] = c.round
+        self.crash_round: Dict[Node, int] = seen
+        self.link_downs: Tuple[LinkDown, ...] = tuple(
+            l if isinstance(l, LinkDown) else LinkDown(*l) for l in link_downs
+        )
+        # Undirected edge -> list of (start, end) down-intervals.
+        self._down: Dict[FrozenSet[Node], List[Tuple[int, int]]] = {}
+        for l in self.link_downs:
+            self._down.setdefault(frozenset((l.u, l.v)), []).append((l.start, l.end))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when this plan injects nothing — behaviour must then be
+        identical to running with no plan at all."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.drops
+            and not self.duplicates
+            and not self.crashes
+            and not self.link_downs
+        )
+
+    def link_is_down(self, src: Node, dst: Node, rnd: int) -> bool:
+        intervals = self._down.get(frozenset((src, dst)))
+        if not intervals:
+            return False
+        return any(start <= rnd <= end for start, end in intervals)
+
+    def copies(self, src: Node, dst: Node, rnd: int) -> int:
+        """How many copies of the message sent ``src -> dst`` in round
+        ``rnd`` the network delivers: 0 (lost), 1, or 2 (stutter dup)."""
+        if self.link_is_down(src, dst, rnd):
+            return 0
+        if (src, dst, rnd) in self.drops:
+            return 0
+        if self.drop_rate and _coin(self.seed, "drop", src, dst, rnd) < self.drop_rate:
+            return 0
+        if (src, dst, rnd) in self.duplicates:
+            return 2
+        if self.duplicate_rate and _coin(
+            self.seed, "dup", src, dst, rnd
+        ) < self.duplicate_rate:
+            return 2
+        return 1
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly account of the plan (for artifacts and reports)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "drops": sorted(map(repr, self.drops)),
+            "duplicates": sorted(map(repr, self.duplicates)),
+            "crashes": sorted(
+                (repr(c.node), c.round) for c in self.crashes
+            ),
+            "link_downs": sorted(
+                (repr(l.u), repr(l.v), l.start, l.end) for l in self.link_downs
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultPlan(seed={self.seed}, drop_rate={self.drop_rate}, "
+            f"duplicate_rate={self.duplicate_rate}, crashes={len(self.crashes)}, "
+            f"link_downs={len(self.link_downs)})"
+        )
+
+
+# -- failure reporting -------------------------------------------------------
+
+
+@dataclass
+class FailureReport:
+    """Structured account of a run that did not complete under faults.
+
+    The graceful-abort contract: a fault-injected run either completes and
+    passes its :mod:`repro.core.verify` check, or the caller gets one of
+    these — never a hang (``max_rounds`` bounds every run and the
+    active-set scheduler fast-forwards deadlocks) and never a silently
+    wrong answer.
+    """
+
+    kind: str
+    reason: str
+    rounds: int
+    stop_reason: str
+    crashed: Tuple[Node, ...] = ()
+    suspected: Tuple[Node, ...] = ()
+    missing: Tuple[Node, ...] = ()
+    detail: str = ""
+    partial_outputs: Dict[Node, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "reason": self.reason,
+            "rounds": self.rounds,
+            "stop_reason": self.stop_reason,
+            "crashed": sorted(map(repr, self.crashed)),
+            "suspected": sorted(map(repr, self.suspected)),
+            "missing": sorted(map(repr, self.missing)),
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FailureReport(kind={self.kind!r}, reason={self.reason!r}, "
+            f"rounds={self.rounds}, stop_reason={self.stop_reason!r})"
+        )
+
+
+def diagnose_run(
+    result,
+    *,
+    kind: str = "run",
+    require_outputs: bool = True,
+) -> Optional[FailureReport]:
+    """Turn a faulted :class:`~repro.congest.network.RunResult` into a
+    :class:`FailureReport`, or ``None`` when the run completed cleanly.
+
+    A run is diagnosed as failed when it ended by ``deadlock`` or
+    ``max_rounds`` (work remained that can never finish), or — with
+    ``require_outputs`` — when any surviving node recorded no output (the
+    protocol left someone behind).  Crashed nodes are expected to be
+    output-less and are never counted as missing.
+    """
+    crashed = tuple(result.crashed)
+    crashed_set = set(crashed)
+    if result.stop_reason in ("deadlock", "max_rounds"):
+        return FailureReport(
+            kind=kind,
+            reason=result.stop_reason,
+            rounds=result.rounds,
+            stop_reason=result.stop_reason,
+            crashed=crashed,
+            detail=(
+                f"run ended by {result.stop_reason} after {result.rounds} rounds "
+                f"with {result.lost_messages} lost message(s)"
+            ),
+            partial_outputs=dict(result.outputs),
+        )
+    if require_outputs:
+        missing = tuple(
+            sorted(
+                (v for v, out in result.outputs.items() if out is None and v not in crashed_set),
+                key=repr,
+            )
+        )
+        if missing:
+            return FailureReport(
+                kind=kind,
+                reason="missing-outputs",
+                rounds=result.rounds,
+                stop_reason=result.stop_reason,
+                crashed=crashed,
+                missing=missing,
+                detail=f"{len(missing)} surviving node(s) recorded no output",
+                partial_outputs=dict(result.outputs),
+            )
+    return None
+
+
+# -- replay fingerprints -----------------------------------------------------
+
+
+def run_fingerprint(result, trace=None) -> str:
+    """Canonical hash of everything a fault replay must reproduce.
+
+    Covers the :class:`RunResult` (rounds, stop reason, message/loss
+    counters, outputs, crashed set) and, when a trace is given, the
+    per-round delivered-message record and the per-edge word histograms.
+    The trace's ``active`` field is deliberately *excluded*: the dispatch
+    set is scheduler bookkeeping and differs between ``active`` and
+    ``dense`` by design (a dense round dispatches every live node); the
+    fault contract is about what the network *delivered*, which must be
+    identical.
+    """
+    digest = hashlib.sha256()
+
+    def feed(tag: str, value: Any) -> None:
+        digest.update(f"{tag}={value!r};".encode())
+
+    feed("rounds", result.rounds)
+    feed("stop", result.stop_reason)
+    feed("messages", result.messages_sent)
+    feed("dropped", result.dropped_messages)
+    feed("lost", result.lost_messages)
+    feed("duplicated", result.duplicated_messages)
+    feed("max_words", result.max_words)
+    feed("crashed", sorted(map(repr, result.crashed)))
+    feed(
+        "outputs",
+        sorted((repr(v), repr(out)) for v, out in result.outputs.items()),
+    )
+    if trace is not None:
+        for rec in trace.records:
+            feed(
+                "round",
+                (
+                    rec.run,
+                    rec.round,
+                    rec.messages,
+                    rec.words,
+                    rec.dropped,
+                    rec.lost,
+                    rec.duplicated,
+                    rec.max_words,
+                ),
+            )
+        feed(
+            "edges",
+            sorted(
+                (repr(src), repr(dst), tuple(sorted(hist.items())))
+                for (src, dst), hist in trace.edge_words.items()
+            ),
+        )
+    return digest.hexdigest()

@@ -75,6 +75,8 @@ def _flood_fragment_ids(
     fragment: Dict[Node, Node],
     updates: Dict[Node, Node],
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> int:
     """Flood new fragment ids from the re-pointed roots; returns rounds.
 
@@ -116,6 +118,8 @@ def _flood_fragment_ids(
         finalize=lambda ctx: ctx.state["frag"],
         stop_when_quiet=True,
         trace=trace,
+        scheduler=scheduler,
+        faults=faults,
     )
     for v, frag in result.outputs.items():
         fragment[v] = frag
@@ -127,6 +131,8 @@ def fragment_merge_run(
     tree: RootedTree,
     stop: Optional[Tuple[Node, Node]] = None,
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> FragmentRun | MarkPathMergeRun:
     """Run the odd-depth merge dynamic; optionally stop at a coalescence.
 
@@ -165,7 +171,10 @@ def fragment_merge_run(
             target = resolved.get(target, target)
             updates[r] = target
             resolved[r] = target
-        rounds += _flood_fragment_ids(graph, tree, fragment, updates, trace=trace)
+        rounds += _flood_fragment_ids(
+            graph, tree, fragment, updates, trace=trace,
+            scheduler=scheduler, faults=faults,
+        )
         if stop is not None and fragment[stop[0]] == fragment[stop[1]]:
             # The merge edge: the first path edge whose endpoints were in
             # different fragments before this iteration and are united now
@@ -188,8 +197,12 @@ def mark_path_merge_run(
     u: Node,
     v: Node,
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> MarkPathMergeRun:
     """Lemma 13's first phase: merge until ``u`` and ``v`` coalesce."""
-    run = fragment_merge_run(graph, tree, stop=(u, v), trace=trace)
+    run = fragment_merge_run(
+        graph, tree, stop=(u, v), trace=trace, scheduler=scheduler, faults=faults
+    )
     assert isinstance(run, MarkPathMergeRun)
     return run

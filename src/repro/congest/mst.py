@@ -69,6 +69,8 @@ def _flood_leaders(
     graph: nx.Graph,
     fragment_edges: Set[FrozenSet[Node]],
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> Tuple[Dict[Node, Node], int]:
     """Pass 1: flood the (repr-) smallest member along fragment edges."""
 
@@ -98,6 +100,8 @@ def _flood_leaders(
         finalize=lambda ctx: ctx.state["leader"],
         stop_when_quiet=True,
         trace=trace,
+        scheduler=scheduler,
+        faults=faults,
     )
     return dict(result.outputs), result.rounds
 
@@ -107,6 +111,8 @@ def _exchange_and_moe(
     leader: Dict[Node, Node],
     fragment_edges: Set[FrozenSet[Node]],
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> Tuple[Dict[Node, Optional[Tuple[EdgeKey, Node, Node]]], int]:
     """Passes 2+3: learn neighbor fragments, convergecast the MOE.
 
@@ -167,7 +173,8 @@ def _exchange_and_moe(
         return None
 
     result = Network(graph, max_words=8).run(
-        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace
+        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
+        scheduler=scheduler, faults=faults,
     )
     moes = {
         v: result.outputs[v] for v in graph.nodes if leader[v] == v
@@ -175,7 +182,12 @@ def _exchange_and_moe(
     return moes, result.rounds + 1  # +1 for the neighbor-exchange round
 
 
-def boruvka_mst_run(graph: nx.Graph, trace: Optional[RoundTrace] = None) -> MSTRun:
+def boruvka_mst_run(
+    graph: nx.Graph,
+    trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
+) -> MSTRun:
     """Run message-level Borůvka to completion.
 
     Requires a connected graph; weights default to 1 with edge-ID
@@ -189,11 +201,15 @@ def boruvka_mst_run(graph: nx.Graph, trace: Optional[RoundTrace] = None) -> MSTR
     phases = 0
     rounds = 0
     while True:
-        leader, flood_rounds = _flood_leaders(graph, fragment_edges, trace=trace)
+        leader, flood_rounds = _flood_leaders(
+            graph, fragment_edges, trace=trace, scheduler=scheduler, faults=faults
+        )
         rounds += flood_rounds
         if len(set(leader.values())) == 1:
             break
-        moes, moe_rounds = _exchange_and_moe(graph, leader, fragment_edges, trace=trace)
+        moes, moe_rounds = _exchange_and_moe(
+            graph, leader, fragment_edges, trace=trace, scheduler=scheduler, faults=faults
+        )
         rounds += moe_rounds
         phases += 1
         added = False

@@ -32,11 +32,14 @@ contract (asserted by the regression suite).
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
 from .trace import RoundTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .faults import FaultPlan
 
 Node = Hashable
 
@@ -64,7 +67,40 @@ _UNSET = object()
 
 class CongestViolation(RuntimeError):
     """A node program broke the model: oversized or untyped payload, or a
-    message to a non-neighbor."""
+    message to a non-neighbor.
+
+    Every raise site attaches whatever context it has — the offending
+    node, the round number, the directed edge and the payload repr — both
+    in the message text and as structured attributes (``.node``,
+    ``.round``, ``.edge``, ``.payload``), so fault triage never starts
+    from a context-free traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: Any = None,
+        round: Optional[int] = None,
+        edge: Optional[Tuple[Any, Any]] = None,
+        payload: Any = _UNSET,
+    ):
+        self.node = node
+        self.round = round
+        self.edge = edge
+        self.payload = None if payload is _UNSET else payload
+        context = []
+        if node is not None:
+            context.append(f"node={node!r}")
+        if round is not None:
+            context.append(f"round={round}")
+        if edge is not None:
+            context.append(f"edge={edge[0]!r}->{edge[1]!r}")
+        if payload is not _UNSET:
+            context.append(f"payload={payload!r}")
+        if context:
+            message = f"{message} [{' '.join(context)}]"
+        super().__init__(message)
 
 
 def payload_words(payload: Any, word_bits: int = DEFAULT_WORD_BITS) -> int:
@@ -104,8 +140,8 @@ def payload_words(payload: Any, word_bits: int = DEFAULT_WORD_BITS) -> int:
             ),
         )
     raise CongestViolation(
-        f"payload of type {type(payload).__name__} has no CONGEST word cost: "
-        f"{payload!r}"
+        f"payload of type {type(payload).__name__} has no CONGEST word cost",
+        payload=payload,
     )
 
 
@@ -178,11 +214,19 @@ class RunResult:
     max_words:
         Maximum payload words observed in any single message.
     stop_reason:
-        Why the run ended: ``"halted"`` (every node halted), ``"quiet"``
-        (``stop_when_quiet`` quiescence), ``"deadlock"`` (no node can ever
-        run again yet not all have halted), or ``"max_rounds"``.
+        Why the run ended: ``"halted"`` (every node halted or crashed),
+        ``"quiet"`` (``stop_when_quiet`` quiescence), ``"deadlock"`` (no
+        node can ever run again yet not all have halted), or
+        ``"max_rounds"``.
     dropped_messages:
         Messages addressed to already-halted nodes; delivery is dropped.
+    lost_messages:
+        Messages destroyed by an injected fault (drop schedule/coin, link
+        down-interval, or a crashed receiver) — the sender paid for them.
+    duplicated_messages:
+        Extra stutter copies an injected duplication fault delivered.
+    crashed:
+        Nodes removed by crash-stop faults, sorted by repr.
     """
 
     __slots__ = (
@@ -192,6 +236,9 @@ class RunResult:
         "max_words",
         "stop_reason",
         "dropped_messages",
+        "lost_messages",
+        "duplicated_messages",
+        "crashed",
     )
 
     def __init__(
@@ -202,6 +249,9 @@ class RunResult:
         max_words: int,
         stop_reason: str = "halted",
         dropped_messages: int = 0,
+        lost_messages: int = 0,
+        duplicated_messages: int = 0,
+        crashed: Tuple[Node, ...] = (),
     ):
         self.rounds = rounds
         self.outputs = outputs
@@ -209,6 +259,9 @@ class RunResult:
         self.max_words = max_words
         self.stop_reason = stop_reason
         self.dropped_messages = dropped_messages
+        self.lost_messages = lost_messages
+        self.duplicated_messages = duplicated_messages
+        self.crashed = crashed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -273,6 +326,7 @@ class Network:
         stop_when_quiet: bool = False,
         trace: Optional[RoundTrace] = None,
         scheduler: str = "active",
+        faults: Optional["FaultPlan"] = None,
     ) -> RunResult:
         """Execute a node program on every node synchronously.
 
@@ -286,6 +340,14 @@ class Network:
         per-round observability; ``scheduler`` selects ``"active"`` (the
         default active-set dispatch) or ``"dense"`` (legacy every-node
         dispatch, kept for A/B measurement).
+
+        ``faults`` (a :class:`repro.congest.faults.FaultPlan`) injects
+        deterministic message drops, stutter duplications, link
+        down-intervals and crash-stop node failures; every decision is a
+        pure function of the plan's seed and the message identity
+        ``(src, dst, round)``, so identical plans replay bit-identically
+        on both schedulers.  An empty plan behaves exactly like no plan
+        (docs/MODEL.md, "The fault model").
         """
         if scheduler not in ("active", "dense"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -302,6 +364,30 @@ class Network:
         for ctx in contexts:
             init(ctx)
         halted_count = sum(1 for ctx in contexts if ctx.halted)
+        # Fault bookkeeping: crash rounds by node index, and the message
+        # delivery hook (None when the plan cannot affect deliveries).
+        crash_round_ix: Dict[int, int] = {}
+        fault_delivery = None
+        if faults is not None:
+            for node, crash_rnd in faults.crash_round.items():
+                i = index.get(node)
+                if i is None:
+                    raise ValueError(f"fault plan crashes unknown node {node!r}")
+                crash_round_ix[i] = crash_rnd
+            if (
+                faults.drop_rate
+                or faults.duplicate_rate
+                or faults.drops
+                or faults.duplicates
+                or faults.link_downs
+            ):
+                fault_delivery = faults.copies
+        crash_by_round: Dict[int, List[int]] = {}
+        for i, crash_rnd in crash_round_ix.items():
+            crash_by_round.setdefault(crash_rnd, []).append(i)
+        crashed = bytearray(n)
+        # Stutter duplicates in flight: arrival round -> delivery entries.
+        pending_dups: Dict[int, List[Tuple[Node, int, Any]]] = {}
         # Pooled per-node inboxes, cleared lazily after consumption — no
         # O(n) rebuild per round.
         inboxes: List[Dict[Node, Any]] = [{} for _ in range(n)]
@@ -313,6 +399,8 @@ class Network:
         rounds = 0
         messages = 0
         dropped_total = 0
+        lost_total = 0
+        dup_total = 0
         max_words_seen = 0
         sent_last_round = True
         warned_drop = False
@@ -324,7 +412,7 @@ class Network:
             if stop_when_quiet and rounds > 0 and not sent_last_round:
                 stop_reason = "quiet"
                 break
-            if not dense and not active:
+            if not dense and not active and not pending_dups:
                 # Nothing has mail and nothing asked to be woken: no future
                 # round can differ.  The dense dispatch would spin silently
                 # to max_rounds; fast-forward to the same round count and
@@ -340,15 +428,31 @@ class Network:
                 stop_reason = "deadlock"
                 break
             rounds += 1
+            # Crash-stop failures scheduled for this round take effect
+            # before dispatch: the node never executes this round.
+            for i in crash_by_round.get(rounds, ()):
+                if not crashed[i]:
+                    crashed[i] = 1
+                    if not contexts[i].halted:
+                        halted_count += 1
+                    if inboxes[i]:
+                        inboxes[i].clear()
+                    if trace is not None:
+                        trace.warn(
+                            f"run {run_id}: round {rounds}: node "
+                            f"{nodes[i]!r} crashed (crash-stop)"
+                        )
             schedule = (
-                [i for i in range(n) if not contexts[i].halted] if dense else active
+                [i for i in range(n) if not contexts[i].halted and not crashed[i]]
+                if dense
+                else active
             )
             outgoing: List[Tuple[Node, int, Any]] = []
             round_words = 0
             round_max_words = 0
             for i in schedule:
                 ctx = contexts[i]
-                if ctx.halted:
+                if ctx.halted or crashed[i]:
                     continue
                 ctx._wake = False
                 inbox = inboxes[i]
@@ -364,13 +468,24 @@ class Network:
                     t = index.get(target)
                     if t is None or t not in nbr_sets[i]:
                         raise CongestViolation(
-                            f"{v!r} tried to message non-neighbor {target!r}"
+                            f"{v!r} tried to message non-neighbor {target!r}",
+                            node=v,
+                            round=rounds,
+                            edge=(v, target),
                         )
-                    words = payload_words(payload, word_bits)
+                    try:
+                        words = payload_words(payload, word_bits)
+                    except CongestViolation as exc:
+                        raise CongestViolation(
+                            str(exc), node=v, round=rounds, edge=(v, target)
+                        ) from None
                     if words > budget:
                         raise CongestViolation(
-                            f"message {v!r}->{target!r} has {words} words "
-                            f"(budget {budget})"
+                            f"message has {words} words (budget {budget})",
+                            node=v,
+                            round=rounds,
+                            edge=(v, target),
+                            payload=payload,
                         )
                     if words > max_words_seen:
                         max_words_seen = words
@@ -384,6 +499,24 @@ class Network:
             next_active: List[int] = []
             scheduled = bytearray(n)
             dropped = 0
+            lost = 0
+            duplicated = 0
+            arrival = rounds + 1
+            # Stutter duplicates scheduled two rounds ago arrive in this
+            # delivery phase, before fresh sends, so a fresh message from
+            # the same sender overwrites the stale copy in the inbox.
+            for src, t, payload in pending_dups.pop(arrival, ()):
+                if contexts[t].halted:
+                    dropped += 1
+                    continue
+                if t in crash_round_ix and crash_round_ix[t] <= arrival:
+                    lost += 1
+                    continue
+                duplicated += 1
+                inboxes[t][src] = payload
+                if not scheduled[t]:
+                    scheduled[t] = 1
+                    next_active.append(t)
             for src, t, payload in outgoing:
                 messages += 1
                 if contexts[t].halted:
@@ -393,6 +526,20 @@ class Network:
                     # surfaced via dropped_messages and the trace.
                     dropped += 1
                     continue
+                if t in crash_round_ix and crash_round_ix[t] <= arrival:
+                    # Receiver will be crashed when this arrives: lost.
+                    lost += 1
+                    continue
+                copies = 1
+                if fault_delivery is not None:
+                    copies = fault_delivery(src, nodes[t], rounds)
+                if copies == 0:
+                    lost += 1
+                    continue
+                if copies > 1:
+                    pending_dups.setdefault(arrival + 1, []).append(
+                        (src, t, payload)
+                    )
                 inboxes[t][src] = payload
                 if not scheduled[t]:
                     scheduled[t] = 1
@@ -405,14 +552,16 @@ class Network:
                         f"run {run_id}: round {rounds} sent mail to already-"
                         f"halted nodes (dropped; see dropped_messages)"
                     )
+            lost_total += lost
+            dup_total += duplicated
             if not dense:
                 for i in schedule:
                     ctx = contexts[i]
-                    if ctx._wake and not ctx.halted and not scheduled[i]:
+                    if ctx._wake and not ctx.halted and not crashed[i] and not scheduled[i]:
                         scheduled[i] = 1
                         next_active.append(i)
                 active = next_active
-            sent_last_round = bool(outgoing)
+            sent_last_round = bool(outgoing) or bool(pending_dups)
             if trace is not None:
                 trace.record_round(
                     run_id,
@@ -422,10 +571,26 @@ class Network:
                     round_words,
                     dropped,
                     round_max_words,
+                    lost=lost,
+                    duplicated=duplicated,
                 )
         outputs: Dict[Node, Any] = {}
-        for ctx in contexts:
-            outputs[ctx.node] = finalize(ctx) if finalize is not None else ctx.output
+        for i, ctx in enumerate(contexts):
+            # A crashed node is silent forever: no output, even if finalize
+            # could read its stale pre-crash state.
+            outputs[ctx.node] = (
+                None
+                if crashed[i]
+                else (finalize(ctx) if finalize is not None else ctx.output)
+            )
         return RunResult(
-            rounds, outputs, messages, max_words_seen, stop_reason, dropped_total
+            rounds,
+            outputs,
+            messages,
+            max_words_seen,
+            stop_reason,
+            dropped_total,
+            lost_total,
+            dup_total,
+            tuple(sorted((nodes[i] for i in range(n) if crashed[i]), key=repr)),
         )

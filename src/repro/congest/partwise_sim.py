@@ -72,6 +72,8 @@ def partwise_aggregation_run(
     tree: Optional[RootedTree] = None,
     shortcuts: Optional[ShortcutStructure] = None,
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> PartwiseRun:
     """Aggregate every part's values at the BFS root, at message level."""
     if tree is None:
@@ -152,6 +154,8 @@ def partwise_aggregation_run(
         max_rounds=8 * len(graph) + len(parts) + 32,
         stop_when_quiet=True,
         trace=trace,
+        scheduler=scheduler,
+        faults=faults,
     )
     root_out = result.outputs.get(root)
     if root_out is None:  # pragma: no cover - root halted without output
@@ -171,6 +175,8 @@ def partwise_broadcast_run(
     tree: Optional[RootedTree] = None,
     shortcuts: Optional[ShortcutStructure] = None,
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> PartwiseRun:
     """The downcast half of Prop. 4: deliver each part's value to all its
     members over the shortcut edges, pipelined one (part, value) pair per
@@ -245,6 +251,8 @@ def partwise_broadcast_run(
         finalize=lambda ctx: dict(ctx.state["received"]),
         stop_when_quiet=True,
         trace=trace,
+        scheduler=scheduler,
+        faults=faults,
     )
     received: Dict[int, int] = {}
     for i, part in enumerate(parts):

@@ -49,9 +49,26 @@ class RoundRecord:
         never delivered).
     max_words:
         Largest single-message word cost this round.
+    lost:
+        Messages destroyed by an injected fault (drop coin, explicit drop,
+        link down-interval, or a crashed receiver); zero without a
+        :class:`repro.congest.faults.FaultPlan`.
+    duplicated:
+        Extra stutter copies delivered this round by an injected
+        duplication fault.
     """
 
-    __slots__ = ("run", "round", "active", "messages", "words", "dropped", "max_words")
+    __slots__ = (
+        "run",
+        "round",
+        "active",
+        "messages",
+        "words",
+        "dropped",
+        "max_words",
+        "lost",
+        "duplicated",
+    )
 
     def __init__(
         self,
@@ -62,6 +79,8 @@ class RoundRecord:
         words: int,
         dropped: int,
         max_words: int,
+        lost: int = 0,
+        duplicated: int = 0,
     ):
         self.run = run
         self.round = round
@@ -70,6 +89,8 @@ class RoundRecord:
         self.words = words
         self.dropped = dropped
         self.max_words = max_words
+        self.lost = lost
+        self.duplicated = duplicated
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -81,6 +102,8 @@ class RoundRecord:
             "words": self.words,
             "dropped": self.dropped,
             "max_words": self.max_words,
+            "lost": self.lost,
+            "duplicated": self.duplicated,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -111,6 +134,8 @@ class RoundTrace:
         self.offender: Optional[Tuple[int, int, Node, Node, int]] = None
         self.total_messages = 0
         self.total_dropped = 0
+        self.total_lost = 0
+        self.total_duplicated = 0
         self.peak_active = 0
         self.runs = 0
         self._edge_histograms = edge_histograms
@@ -138,12 +163,19 @@ class RoundTrace:
         words: int,
         dropped: int,
         max_words: int,
+        lost: int = 0,
+        duplicated: int = 0,
     ) -> None:
         self.records.append(
-            RoundRecord(run, rnd, active, messages, words, dropped, max_words)
+            RoundRecord(
+                run, rnd, active, messages, words, dropped, max_words,
+                lost, duplicated,
+            )
         )
         self.total_messages += messages
         self.total_dropped += dropped
+        self.total_lost += lost
+        self.total_duplicated += duplicated
         if active > self.peak_active:
             self.peak_active = active
 
@@ -162,6 +194,8 @@ class RoundTrace:
             "rounds": rounds,
             "messages": self.total_messages,
             "dropped": self.total_dropped,
+            "lost": self.total_lost,
+            "duplicated": self.total_duplicated,
             "peak_active": self.peak_active,
             "mean_active": mean_active,
             "max_words": self.max_words,

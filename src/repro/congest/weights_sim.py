@@ -69,7 +69,10 @@ class WeightsRun:
 
 
 def _size_convergecast(
-    cfg: PlanarConfiguration, trace: Optional[RoundTrace] = None
+    cfg: PlanarConfiguration,
+    trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> Tuple[Dict[Node, Dict[Node, int]], int]:
     """Pass 1: child subtree sizes, learned at each parent by messages."""
     tree = cfg.tree
@@ -91,7 +94,8 @@ def _size_convergecast(
         return None
 
     result = Network(cfg.graph).run(
-        init, on_round, max_rounds=2 * cfg.n + 8, trace=trace
+        init, on_round, max_rounds=2 * cfg.n + 8, trace=trace,
+        scheduler=scheduler, faults=faults,
     )
     return dict(result.outputs), result.rounds
 
@@ -100,6 +104,8 @@ def _order_downcast(
     cfg: PlanarConfiguration,
     child_sizes: Dict[Node, Dict[Node, int]],
     trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> Tuple[Dict[Node, Tuple[int, int, int]], int]:
     """Pass 2: assign (pi_l, pi_r, depth) top-down."""
     tree = cfg.tree
@@ -142,18 +148,25 @@ def _order_downcast(
     result = Network(cfg.graph).run(
         init, on_round, max_rounds=2 * cfg.n + 8, stop_when_quiet=True,
         finalize=lambda ctx: ctx.state["me"],
-        trace=trace,
+        trace=trace, scheduler=scheduler, faults=faults,
     )
     return dict(result.outputs), result.rounds
 
 
 def weights_problem_run(
-    cfg: PlanarConfiguration, trace: Optional[RoundTrace] = None
+    cfg: PlanarConfiguration,
+    trace: Optional[RoundTrace] = None,
+    scheduler: str = "active",
+    faults=None,
 ) -> WeightsRun:
     """Run the full message-level WEIGHTS-PROBLEM on one configuration."""
     tree = cfg.tree
-    child_sizes, rounds1 = _size_convergecast(cfg, trace=trace)
-    orders, rounds2 = _order_downcast(cfg, child_sizes, trace=trace)
+    child_sizes, rounds1 = _size_convergecast(
+        cfg, trace=trace, scheduler=scheduler, faults=faults
+    )
+    orders, rounds2 = _order_downcast(
+        cfg, child_sizes, trace=trace, scheduler=scheduler, faults=faults
+    )
     pi_l = {v: orders[v][0] for v in cfg.graph.nodes}
     pi_r = {v: orders[v][1] for v in cfg.graph.nodes}
     depth = {v: orders[v][2] for v in cfg.graph.nodes}

@@ -21,6 +21,9 @@ __all__ = [
     "check_separator",
     "check_dfs_tree",
     "check_partial_dfs",
+    "surviving_component",
+    "check_broadcast_coverage",
+    "check_component_dfs",
     "SeparatorReport",
     "VerificationError",
 ]
@@ -125,6 +128,82 @@ def check_dfs_tree(graph: nx.Graph, parent: Dict[Node, Optional[Node]], root: No
                 "so this is not a DFS tree"
             )
     return tree
+
+
+def surviving_component(
+    graph: nx.Graph, root: Node, crashed: Iterable[Node] = ()
+) -> Set[Node]:
+    """Nodes still reachable from ``root`` after crash-stop failures.
+
+    The correctness unit for fault-injected runs (docs/MODEL.md, "The
+    fault model"): a crashed node is gone, and so is every node it alone
+    connected to the root.  Returns the empty set when ``root`` itself
+    crashed.
+    """
+    crashed_set = set(crashed)
+    if root in crashed_set:
+        return set()
+    rest = graph.subgraph(set(graph.nodes) - crashed_set)
+    return set(nx.node_connected_component(rest, root))
+
+
+def check_broadcast_coverage(
+    graph: nx.Graph,
+    root: Node,
+    outputs: Dict[Node, object],
+    value: object,
+    crashed: Iterable[Node] = (),
+) -> Set[Node]:
+    """Assert a broadcast under crash faults covered the surviving component.
+
+    Every non-crashed node still connected to ``root`` must have recorded
+    exactly ``value`` — the guarantee the ack/retransmit wrapper makes.
+    Nodes disconnected by the crashes are *not* required to be covered
+    (they cannot be, by any protocol).  Returns the surviving component.
+    """
+    component = surviving_component(graph, root, crashed)
+    if not component:
+        raise VerificationError(
+            f"root {root!r} is in the crashed set; no surviving component"
+        )
+    wrong = sorted(
+        (v for v in component if outputs.get(v) != value), key=repr
+    )
+    if wrong:
+        raise VerificationError(
+            f"{len(wrong)} surviving node(s) in the root's component missed "
+            f"the broadcast: {wrong[:5]}"
+        )
+    return component
+
+
+def check_component_dfs(
+    graph: nx.Graph,
+    parent: Dict[Node, Optional[Node]],
+    root: Node,
+    crashed: Iterable[Node] = (),
+) -> RootedTree:
+    """Assert ``parent`` encodes a DFS tree of the surviving component.
+
+    The faulted analogue of :func:`check_dfs_tree`: restrict the graph to
+    the nodes still connected to ``root`` after removing ``crashed``,
+    require the parent map to span exactly that component with parents
+    inside it, and check the ancestor-descendant characterization on the
+    induced subgraph.
+    """
+    component = surviving_component(graph, root, crashed)
+    if not component:
+        raise VerificationError(
+            f"root {root!r} is in the crashed set; no surviving component"
+        )
+    restricted = {v: parent.get(v) for v in component}
+    for v, p in restricted.items():
+        if p is not None and p not in component:
+            raise VerificationError(
+                f"surviving node {v!r} has parent {p!r} outside the "
+                f"surviving component (crashed or disconnected)"
+            )
+    return check_dfs_tree(graph.subgraph(component), restricted, root)
 
 
 def check_partial_dfs(

@@ -106,6 +106,22 @@ class TestInstanceCache:
         hit, _ = cache.get("graph", ["delaunay", 90, 2])
         assert not hit
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        # A crash (or kill -9) mid-write leaves a half-pickle on disk; the
+        # cache must treat it as a miss, not explode or return garbage.
+        cache = cache_mod.InstanceCache(tmp_path)
+        cache.put("graph", ["delaunay", 90, 2], list(range(1000)))
+        path = cache._path("graph", ["delaunay", 90, 2])
+        content = path.read_bytes()
+        assert len(content) > 2
+        path.write_bytes(content[: len(content) // 2])
+        hit, _ = cache.get("graph", ["delaunay", 90, 2])
+        assert not hit
+        # And a fresh put self-heals the entry.
+        cache.put("graph", ["delaunay", 90, 2], [7])
+        hit, value = cache.get("graph", ["delaunay", 90, 2])
+        assert hit and value == [7]
+
     def test_disabled_cache_never_hits(self, tmp_path):
         cache = cache_mod.InstanceCache(tmp_path, enabled=False)
         cache.put("diameter", ["grid", 100, 0], 18)
