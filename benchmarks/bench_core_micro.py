@@ -18,6 +18,7 @@ import networkx as nx
 from _common import emit
 from repro.applications import biconnectivity
 from repro.congest import Network, RoundTrace
+from repro.obs import Tracer
 from repro.core.config import PlanarConfiguration
 from repro.core.dfs import dfs_tree
 from repro.core.faces import face_view
@@ -162,6 +163,74 @@ def test_micro_scheduler_speedup(benchmark):
     benchmark(lambda: _run_wavefront(net, "active"))
 
 
+def tracing_overhead_rows(n: int = WAVE_N):
+    """Time the wavefront bare, under RoundTrace, and under RoundTrace
+    plus an attached Tracer span — the observability cost ladder.
+
+    Tracing *off* is free by construction (``trace_span`` returns the
+    shared ``NULL_SPAN`` singleton, no Span is allocated — locked by
+    ``tests/test_obs.py``), so the bare row doubles as the tracing-off
+    row; the deltas recorded here are the opt-in costs.
+    """
+    net = Network(gen.path_graph(n))
+    init, on_round = _wavefront_program()
+    repeats = 3  # best-of-N: the run is ~0.2s, scheduler noise dominates
+
+    def timed(trace):
+        t0 = time.perf_counter()
+        res = net.run(init, on_round, max_rounds=WAVE_ROUNDS, trace=trace,
+                      scheduler="active")
+        return res, time.perf_counter() - t0
+
+    timed(None)  # warm-up: the first run pays allocator/cache setup
+    base_res, bare = min(
+        (timed(None) for _ in range(repeats)), key=lambda rt: rt[1])
+    trace_res, traced = min(
+        (timed(RoundTrace()) for _ in range(repeats)), key=lambda rt: rt[1])
+
+    def timed_span():
+        span_trace = RoundTrace()
+        tracer = Tracer()
+        tracer.attach(span_trace)
+        t0 = time.perf_counter()
+        with tracer.span("wavefront", n=n):
+            res = net.run(init, on_round, max_rounds=WAVE_ROUNDS,
+                          trace=span_trace, scheduler="active")
+        return (res, tracer), time.perf_counter() - t0
+
+    (span_res, tracer), spanned = min(
+        (timed_span() for _ in range(repeats)), key=lambda rt: rt[1])
+    rows = [
+        {"config": "bare (tracing off)", "n": n, "rounds": base_res.rounds,
+         "seconds": round(bare, 4), "overhead": 1.0},
+        {"config": "RoundTrace", "n": n, "rounds": trace_res.rounds,
+         "seconds": round(traced, 4), "overhead": round(traced / bare, 2)},
+        {"config": "RoundTrace + Tracer span", "n": n, "rounds": span_res.rounds,
+         "seconds": round(spanned, 4), "overhead": round(spanned / bare, 2)},
+    ]
+    assert base_res.rounds == trace_res.rounds == span_res.rounds
+    assert tracer.spans[0].rounds == span_res.rounds  # full attribution
+    return rows
+
+
+def test_micro_tracing_overhead_recorded(benchmark):
+    """Satellite guard: record the tracing cost ladder on the 50k-path
+    wavefront in benchmarks/results/ and bound the opt-in overhead."""
+    rows = tracing_overhead_rows()
+    emit("tracing_overhead.txt", rows,
+         f"Tracing overhead - BFS wavefront on a {WAVE_N}-node path")
+    for row in rows[1:]:
+        assert row["seconds"] <= max(3 * rows[0]["seconds"],
+                                     rows[0]["seconds"] + 0.05), rows
+
+    net = Network(gen.path_graph(5000))
+    init, on_round = _wavefront_program()
+    trace = RoundTrace()
+    Tracer().attach(trace)
+    benchmark(lambda: net.run(init, on_round, max_rounds=WAVE_ROUNDS,
+                              trace=trace, scheduler="active"))
+
+
 def test_micro_trace_overhead_bounded(benchmark):
     """Tracing is opt-in; when on, it must stay within ~3x of untraced."""
     net = Network(gen.path_graph(3000))
@@ -183,3 +252,5 @@ def test_micro_trace_overhead_bounded(benchmark):
 if __name__ == "__main__":
     emit("scheduler_speedup.txt", scheduler_speedup_rows(),
          f"Active-set vs dense dispatch - BFS wavefront on a {WAVE_N}-node path")
+    emit("tracing_overhead.txt", tracing_overhead_rows(),
+         f"Tracing overhead - BFS wavefront on a {WAVE_N}-node path")

@@ -8,12 +8,28 @@ low-diameter family Awerbuch's rounds catch up to and overtake the charged
 deterministic rounds as n grows.
 """
 
-from _common import emit, run_and_emit
-from repro.congest import RoundTrace, awerbuch_dfs_run
+from _common import RESULTS_DIR, emit, run_and_emit
+from repro.congest import RoundTrace, awerbuch_dfs_run, bfs_run
 from repro.core.dfs import dfs_tree
+from repro.obs import Tracer
 from repro.planar import generators as gen
 
 SIZES = (64, 144, 256, 484)
+
+
+def dump_e2_trace(n: int = 64) -> str:
+    """Span-attributed JSONL dump of one E2 instance (the ``repro trace``
+    CLI's demo input: ``repro trace phases benchmarks/results/e2_trace.jsonl``)."""
+    side = int(n ** 0.5)
+    g = gen.grid(side, side)
+    trace = RoundTrace()
+    Tracer().attach(trace)
+    with trace.tracer.span("e2", family="grid", n=len(g)):
+        bfs_run(g, 0, trace=trace)
+        awerbuch_dfs_run(g, 0, trace=trace)
+    path = RESULTS_DIR / "e2_trace.jsonl"
+    trace.dump_jsonl(path)
+    return str(path)
 
 
 def awerbuch_trace_rows(sizes=(64, 256)):
@@ -48,6 +64,7 @@ def test_e2_dfs_rounds(benchmark):
                         sizes=SIZES)
     emit("e2_awerbuch_trace.txt", awerbuch_trace_rows(),
          "E2 - Awerbuch under RoundTrace (active set stays near the token)")
+    dump_e2_trace()
     for row in rows:
         assert row["awerbuch_rounds"] >= row["n"]          # Θ(n) floor
         assert row["awerbuch_rounds"] <= 4 * row["n"] + 8  # Awerbuch's bound
@@ -70,3 +87,4 @@ if __name__ == "__main__":
                  "E2 - deterministic DFS (charged) vs Awerbuch (measured)", sizes=SIZES)
     emit("e2_awerbuch_trace.txt", awerbuch_trace_rows(),
          "E2 - Awerbuch under RoundTrace (active set stays near the token)")
+    print(f"\nspan-attributed trace dump: {dump_e2_trace()}")

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from . import cache as cache_mod
 from . import registry
+from ..obs import MetricsRegistry
 from .provenance import provenance, stamp_header
 from .tables import render_table
 
@@ -57,6 +58,7 @@ __all__ = [
     "artifact_dict",
     "compare_summaries",
     "load_summary",
+    "metrics_registry",
     "run_experiments",
     "summary_dict",
     "write_artifacts",
@@ -491,6 +493,49 @@ def run_experiments(
 # -- artifacts --------------------------------------------------------------
 
 
+def metrics_registry(runs: Dict[str, ExperimentRun]) -> MetricsRegistry:
+    """A :class:`repro.obs.MetricsRegistry` over a finished run set.
+
+    Exposes the runner's execution health in the same exposition format
+    as the simulator metrics (``repro_*`` vs ``congest_*`` namespaces):
+    unit counts by experiment and status, cache hits, the unit wall-clock
+    distribution, per-experiment wall-clock and the peak worker RSS.
+    """
+    reg = MetricsRegistry()
+    units = reg.counter(
+        "repro_units_total",
+        "Experiment units by terminal status",
+        labels=("experiment", "status"),
+    )
+    cached = reg.counter(
+        "repro_units_cached_total",
+        "Units satisfied from the instance cache",
+        labels=("experiment",),
+    )
+    unit_wall = reg.histogram(
+        "repro_unit_wall_seconds", "Wall-clock per executed (non-cached) unit"
+    )
+    exp_wall = reg.gauge(
+        "repro_experiment_wall_seconds",
+        "Total wall-clock per experiment",
+        labels=("experiment",),
+    )
+    max_rss = reg.gauge(
+        "repro_unit_max_rss_kb",
+        "Peak ru_maxrss observed across unit executions (KB)",
+    )
+    for key, run in runs.items():
+        exp_wall.set(run.wall_s, experiment=key)
+        for t in run.unit_timings:
+            units.inc(experiment=key, status=t.get("status", "ok"))
+            if t.get("cached"):
+                cached.inc(experiment=key)
+            else:
+                unit_wall.observe(t["wall_s"])
+            max_rss.set_max(t.get("max_rss_kb", 0))
+    return reg
+
+
 def artifact_dict(run: ExperimentRun) -> Dict[str, Any]:
     """The per-experiment JSON artifact (schema in docs/BENCHMARKS.md)."""
     return {
@@ -539,7 +584,8 @@ def write_artifacts(
     json_only: bool = False,
 ) -> List[pathlib.Path]:
     """Write ``e<N>.json`` (and, unless ``json_only``, ``e<N>.txt``) for
-    every run; returns the written paths."""
+    every run, plus a ``metrics.prom`` Prometheus exposition of the
+    runner metrics (:func:`metrics_registry`); returns the written paths."""
     results_dir = pathlib.Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     written: List[pathlib.Path] = []
@@ -551,16 +597,26 @@ def write_artifacts(
             txt_path = results_dir / f"{key}.txt"
             write_table(txt_path, run.rows, run.title)
             written.append(txt_path)
+    if runs:
+        prom_path = results_dir / "metrics.prom"
+        prom_path.write_text(metrics_registry(runs).to_prometheus())
+        written.append(prom_path)
     return written
 
 
 def summary_dict(runs: Dict[str, ExperimentRun], *, grid: str = "default") -> Dict[str, Any]:
     """The ``BENCH_SUMMARY.json`` rollup: every experiment's rows and
-    timing headline in one self-describing file (the ``--compare`` input)."""
+    timing headline in one self-describing file (the ``--compare`` input).
+
+    Carries a ``metrics`` mirror of :func:`metrics_registry`; the
+    regression gate only reads ``experiments`` so the extra key is inert
+    for comparisons against older summaries.
+    """
     return {
         "schema_version": SCHEMA_VERSION,
         "grid": grid,
         **provenance(),
+        "metrics": metrics_registry(runs).to_dict(),
         "experiments": {
             key: {
                 "claim_ref": run.claim,

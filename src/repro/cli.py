@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands, mirroring the library's public entry points:
+Five commands, mirroring the library's public entry points:
 
 * ``separator`` — Theorem 1 on one generated instance, with balance report
   and round ledger;
@@ -15,7 +15,12 @@ Four commands, mirroring the library's public entry points:
   to skip tables), the quick CI grid (``--grid small``), the regression
   gate (``--compare BASELINE.json``, non-zero exit on round-count drift)
   and EXPERIMENTS.md regeneration (``all --write``).  The full contract is
-  documented in ``docs/BENCHMARKS.md``.
+  documented in ``docs/BENCHMARKS.md``;
+* ``trace`` — the observability toolbox (``docs/OBSERVABILITY.md``):
+  ``record`` runs a traced E2-style workload and writes a span-annotated
+  JSONL dump (plus an optional Prometheus ``--metrics`` exposition);
+  ``summarize`` / ``phases`` / ``edges`` analyze a dump offline;
+  ``diff`` compares two dumps phase by phase.
 """
 
 from __future__ import annotations
@@ -200,6 +205,60 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_trace_record(args) -> int:
+    from .congest import RoundTrace
+    from .congest.algorithms import bfs_run
+    from .congest.awerbuch import awerbuch_dfs_run
+    from .obs import MetricsRegistry, Tracer
+
+    graph = _make_graph(args)
+    root = args.root % len(graph)
+    root = list(graph.nodes)[root] if root not in graph else root
+    trace = RoundTrace()
+    tracer = Tracer()
+    tracer.attach(trace)
+    metrics = MetricsRegistry()
+    # The E2 shape: build the BFS tree, then run the Awerbuch DFS baseline
+    # — each primitive opens its own child span under the workload root.
+    with tracer.span("e2", family=args.family, n=len(graph)):
+        bfs_run(graph, root, trace=trace, metrics=metrics)
+        awerbuch_dfs_run(graph, root, trace=trace, metrics=metrics)
+    lines = trace.dump_jsonl(
+        args.out,
+        top_edges=args.top_edges,
+        full_edge_histograms=args.full_edge_histograms,
+    )
+    print(f"wrote {args.out}: {lines} records, {len(tracer.spans)} spans, "
+          f"{len(trace.records)} rounds, {trace.total_messages} messages")
+    if args.metrics is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write(metrics.to_prometheus())
+        print(f"wrote {args.metrics}: {len(metrics)} metrics")
+    return 0
+
+
+def _cmd_trace_analyze(args) -> int:
+    from .obs import analyze
+
+    doc = analyze.load_dump(args.dump)
+    if args.trace_command == "summarize":
+        print(analyze.render_summary(doc))
+    elif args.trace_command == "phases":
+        print(analyze.render_phases(doc))
+    elif args.trace_command == "edges":
+        print(analyze.render_edges(doc, k=args.top))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from .obs import analyze
+
+    doc_a = analyze.load_dump(args.dump)
+    doc_b = analyze.load_dump(args.other)
+    print(analyze.render_diff(doc_a, doc_b))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -268,6 +327,45 @@ def main(argv=None) -> int:
     p_e.add_argument("--write", action="store_true",
                      help="with 'all': regenerate EXPERIMENTS.md")
     p_e.set_defaults(func=_cmd_experiment)
+
+    p_t = sub.add_parser(
+        "trace",
+        help="record and analyze span-annotated trace dumps",
+        description="Observability toolbox over RoundTrace JSONL dumps; "
+        "see docs/OBSERVABILITY.md for the span model and dump schema.",
+    )
+    t_sub = p_t.add_subparsers(dest="trace_command", required=True)
+
+    t_rec = t_sub.add_parser(
+        "record", help="run a traced E2-style workload and dump it")
+    add_instance_args(t_rec)
+    t_rec.add_argument("--out", default="e2_trace.jsonl", metavar="PATH",
+                       help="dump destination (default e2_trace.jsonl)")
+    t_rec.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also write a Prometheus text exposition here")
+    t_rec.add_argument("--top-edges", type=int, default=16, dest="top_edges",
+                       help="edge records to serialize (default 16)")
+    t_rec.add_argument("--full-edge-histograms", action="store_true",
+                       dest="full_edge_histograms",
+                       help="serialize every edge's full word histogram")
+    t_rec.set_defaults(func=_cmd_trace_record)
+
+    for name, blurb in (
+        ("summarize", "aggregate view of one dump"),
+        ("phases", "per-span phase breakdown as a tree"),
+        ("edges", "top-k bandwidth edges"),
+    ):
+        t_p = t_sub.add_parser(name, help=blurb)
+        t_p.add_argument("dump", help="trace JSONL dump")
+        if name == "edges":
+            t_p.add_argument("--top", type=int, default=10,
+                             help="edges to show (default 10)")
+        t_p.set_defaults(func=_cmd_trace_analyze)
+
+    t_d = t_sub.add_parser("diff", help="compare two dumps phase by phase")
+    t_d.add_argument("dump", help="trace A (baseline)")
+    t_d.add_argument("other", help="trace B (candidate)")
+    t_d.set_defaults(func=_cmd_trace_diff)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import networkx as nx
 
+from ..obs import MetricsRegistry, trace_span
 from .faults import FailureReport, FaultPlan, diagnose_run
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
@@ -44,6 +45,7 @@ def bfs_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Distributed BFS from ``root``.
 
@@ -78,10 +80,11 @@ def bfs_run(
                 ctx.wake()
         return None
 
-    return Network(graph).run(
-        init, on_round, max_rounds=4 * len(graph) + 16, trace=trace,
-        scheduler=scheduler, faults=faults,
-    )
+    with trace_span(trace, "bfs", root=repr(root)):
+        return Network(graph).run(
+            init, on_round, max_rounds=4 * len(graph) + 16, trace=trace,
+            scheduler=scheduler, faults=faults, metrics=metrics,
+        )
 
 
 def broadcast_run(
@@ -92,6 +95,7 @@ def broadcast_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Downcast ``value`` from ``root`` along a known spanning tree.
 
@@ -126,10 +130,11 @@ def broadcast_run(
             ctx.halt(ctx.state["value"])
         return None
 
-    return Network(graph).run(
-        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
-        scheduler=scheduler, faults=faults,
-    )
+    with trace_span(trace, "broadcast", root=repr(root)):
+        return Network(graph).run(
+            init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
+            scheduler=scheduler, faults=faults, metrics=metrics,
+        )
 
 
 def convergecast_run(
@@ -141,6 +146,7 @@ def convergecast_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Aggregate ``values`` up a known spanning tree (sum by default).
 
@@ -169,10 +175,11 @@ def convergecast_run(
             return {p: (ctx.state["acc"],)}
         return None
 
-    return Network(graph).run(
-        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
-        scheduler=scheduler, faults=faults,
-    )
+    with trace_span(trace, "convergecast", root=repr(root)):
+        return Network(graph).run(
+            init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
+            scheduler=scheduler, faults=faults, metrics=metrics,
+        )
 
 
 # -- resilience wrappers -----------------------------------------------------
@@ -195,6 +202,7 @@ def resilient_broadcast_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[RunResult, Optional[FailureReport]]:
     """Flooding broadcast with per-link ack/retransmit and crash suspicion.
 
@@ -278,15 +286,17 @@ def resilient_broadcast_run(
         ctx.wake()
         return sends or None
 
-    result = Network(graph).run(
-        init,
-        on_round,
-        max_rounds=give_up + linger + retry_every * (retries + 2) + 16,
-        finalize=lambda ctx: ctx.output if ctx.output_set else (None, ()),
-        trace=trace,
-        scheduler=scheduler,
-        faults=faults,
-    )
+    with trace_span(trace, "resilient-broadcast", root=repr(root)):
+        result = Network(graph).run(
+            init,
+            on_round,
+            max_rounds=give_up + linger + retry_every * (retries + 2) + 16,
+            finalize=lambda ctx: ctx.output if ctx.output_set else (None, ()),
+            trace=trace,
+            scheduler=scheduler,
+            faults=faults,
+            metrics=metrics,
+        )
     report = _diagnose_broadcast(graph, root, value, result)
     return result, report
 
@@ -356,6 +366,7 @@ def resilient_convergecast_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[RunResult, Optional[FailureReport]]:
     """Tree aggregation with acked reports and timeout-based crash suspicion.
 
@@ -460,18 +471,20 @@ def resilient_convergecast_run(
         ctx.wake()
         return sends or None
 
-    result = Network(graph).run(
-        init,
-        on_round,
-        max_rounds=child_timeout
-        + level_margin * (max_depth + 1)
-        + retry_every * (retries + 2)
-        + 2 * n
-        + 16,
-        finalize=lambda ctx: ctx.output if ctx.output_set else None,
-        trace=trace,
-        scheduler=scheduler,
-        faults=faults,
-    )
+    with trace_span(trace, "resilient-convergecast", root=repr(root)):
+        result = Network(graph).run(
+            init,
+            on_round,
+            max_rounds=child_timeout
+            + level_margin * (max_depth + 1)
+            + retry_every * (retries + 2)
+            + 2 * n
+            + 16,
+            finalize=lambda ctx: ctx.output if ctx.output_set else None,
+            trace=trace,
+            scheduler=scheduler,
+            faults=faults,
+            metrics=metrics,
+        )
     report = diagnose_run(result, kind="convergecast", require_outputs=False)
     return result, report

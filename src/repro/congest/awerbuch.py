@@ -17,6 +17,7 @@ from typing import Any, Dict, Hashable, Optional, Tuple
 
 import networkx as nx
 
+from ..obs import MetricsRegistry, trace_span
 from .faults import FailureReport, FaultPlan, diagnose_run
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
@@ -37,6 +38,7 @@ def awerbuch_dfs_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Run Awerbuch's DFS; each node outputs ``(parent, depth)``."""
 
@@ -104,10 +106,11 @@ def awerbuch_dfs_run(
         return None
 
     network = Network(graph)
-    result = network.run(
-        init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize,
-        trace=trace, scheduler=scheduler, faults=faults,
-    )
+    with trace_span(trace, "awerbuch-dfs", root=repr(root)):
+        result = network.run(
+            init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize,
+            trace=trace, scheduler=scheduler, faults=faults, metrics=metrics,
+        )
     return result
 
 
@@ -130,6 +133,7 @@ def resilient_dfs_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[RunResult, Optional[FailureReport]]:
     """Awerbuch's DFS under faults, with graceful abort instead of a hang.
 
@@ -152,9 +156,11 @@ def resilient_dfs_run(
     completed *and* the surviving component's tree verified as a DFS
     tree.
     """
-    result = awerbuch_dfs_run(
-        graph, root, trace=trace, scheduler=scheduler, faults=faults
-    )
+    with trace_span(trace, "resilient-dfs", root=repr(root)):
+        result = awerbuch_dfs_run(
+            graph, root, trace=trace, scheduler=scheduler, faults=faults,
+            metrics=metrics,
+        )
     report = diagnose_run(result, kind="dfs", require_outputs=False)
     if report is not None:
         return result, report

@@ -26,6 +26,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from ..obs import trace_span
 from ..trees.rooted import RootedTree
 from .network import Network, NodeContext
 from .trace import RoundTrace
@@ -77,6 +78,7 @@ def _flood_fragment_ids(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> int:
     """Flood new fragment ids from the re-pointed roots; returns rounds.
 
@@ -120,6 +122,7 @@ def _flood_fragment_ids(
         trace=trace,
         scheduler=scheduler,
         faults=faults,
+        metrics=metrics,
     )
     for v, frag in result.outputs.items():
         fragment[v] = frag
@@ -133,6 +136,7 @@ def fragment_merge_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> FragmentRun | MarkPathMergeRun:
     """Run the odd-depth merge dynamic; optionally stop at a coalescence.
 
@@ -148,46 +152,48 @@ def fragment_merge_run(
     iterations = 0
     rounds = 0
     path = tree.path(*stop) if stop is not None else []
-    while len(set(fragment.values())) > 1:
-        iterations += 1
-        scale = 1 << (iterations - 1)
-        before = dict(fragment)
-        # Each odd-fragment-depth root re-points to its parent's fragment;
-        # the parent's id travels one request/reply exchange.  Chained joins
-        # resolve top-down within the iteration, as the paper's pipelined
-        # broadcasts do.
-        rounds += 2
-        updates: Dict[Node, Node] = {}
-        resolved: Dict[Node, Node] = {}
-        joining_roots = [
-            r
-            for r in set(fragment.values())
-            if r != tree.root and (tree.depth[r] // scale) % 2 == 1
-        ]
-        for r in sorted(joining_roots, key=lambda r: tree.depth[r]):
-            parent = tree.parent[r]
-            assert parent is not None
-            target = fragment[parent]
-            target = resolved.get(target, target)
-            updates[r] = target
-            resolved[r] = target
-        rounds += _flood_fragment_ids(
-            graph, tree, fragment, updates, trace=trace,
-            scheduler=scheduler, faults=faults,
-        )
-        if stop is not None and fragment[stop[0]] == fragment[stop[1]]:
-            # The merge edge: the first path edge whose endpoints were in
-            # different fragments before this iteration and are united now
-            # (each path edge checks this with one message exchange).
-            rounds += 1
-            merge_edge = next(
-                (a, b)
-                for a, b in zip(path, path[1:])
-                if before[a] != before[b] and fragment[a] == fragment[b]
-            )
-            return MarkPathMergeRun(iterations, rounds, merge_edge)
-        if iterations > 2 * max(len(graph), 2).bit_length() + 4:
-            raise RuntimeError("fragment merging did not converge")
+    with trace_span(trace, "fragment-merge"):
+        while len(set(fragment.values())) > 1:
+            iterations += 1
+            scale = 1 << (iterations - 1)
+            before = dict(fragment)
+            # Each odd-fragment-depth root re-points to its parent's fragment;
+            # the parent's id travels one request/reply exchange.  Chained joins
+            # resolve top-down within the iteration, as the paper's pipelined
+            # broadcasts do.
+            rounds += 2
+            updates: Dict[Node, Node] = {}
+            resolved: Dict[Node, Node] = {}
+            joining_roots = [
+                r
+                for r in set(fragment.values())
+                if r != tree.root and (tree.depth[r] // scale) % 2 == 1
+            ]
+            for r in sorted(joining_roots, key=lambda r: tree.depth[r]):
+                parent = tree.parent[r]
+                assert parent is not None
+                target = fragment[parent]
+                target = resolved.get(target, target)
+                updates[r] = target
+                resolved[r] = target
+            with trace_span(trace, "merge-iteration", iteration=iterations):
+                rounds += _flood_fragment_ids(
+                    graph, tree, fragment, updates, trace=trace,
+                    scheduler=scheduler, faults=faults, metrics=metrics,
+                )
+            if stop is not None and fragment[stop[0]] == fragment[stop[1]]:
+                # The merge edge: the first path edge whose endpoints were in
+                # different fragments before this iteration and are united now
+                # (each path edge checks this with one message exchange).
+                rounds += 1
+                merge_edge = next(
+                    (a, b)
+                    for a, b in zip(path, path[1:])
+                    if before[a] != before[b] and fragment[a] == fragment[b]
+                )
+                return MarkPathMergeRun(iterations, rounds, merge_edge)
+            if iterations > 2 * max(len(graph), 2).bit_length() + 4:
+                raise RuntimeError("fragment merging did not converge")
     return FragmentRun(iterations, rounds)
 
 
@@ -199,10 +205,12 @@ def mark_path_merge_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> MarkPathMergeRun:
     """Lemma 13's first phase: merge until ``u`` and ``v`` coalesce."""
     run = fragment_merge_run(
-        graph, tree, stop=(u, v), trace=trace, scheduler=scheduler, faults=faults
+        graph, tree, stop=(u, v), trace=trace, scheduler=scheduler,
+        faults=faults, metrics=metrics,
     )
     assert isinstance(run, MarkPathMergeRun)
     return run

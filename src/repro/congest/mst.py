@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from ..obs import trace_span
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
 
@@ -71,6 +72,7 @@ def _flood_leaders(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> Tuple[Dict[Node, Node], int]:
     """Pass 1: flood the (repr-) smallest member along fragment edges."""
 
@@ -102,6 +104,7 @@ def _flood_leaders(
         trace=trace,
         scheduler=scheduler,
         faults=faults,
+        metrics=metrics,
     )
     return dict(result.outputs), result.rounds
 
@@ -113,6 +116,7 @@ def _exchange_and_moe(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> Tuple[Dict[Node, Optional[Tuple[EdgeKey, Node, Node]]], int]:
     """Passes 2+3: learn neighbor fragments, convergecast the MOE.
 
@@ -174,7 +178,7 @@ def _exchange_and_moe(
 
     result = Network(graph, max_words=8).run(
         init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
-        scheduler=scheduler, faults=faults,
+        scheduler=scheduler, faults=faults, metrics=metrics,
     )
     moes = {
         v: result.outputs[v] for v in graph.nodes if leader[v] == v
@@ -187,6 +191,7 @@ def boruvka_mst_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> MSTRun:
     """Run message-level Borůvka to completion.
 
@@ -200,29 +205,34 @@ def boruvka_mst_run(
     fragment_edges: Set[FrozenSet[Node]] = set()
     phases = 0
     rounds = 0
-    while True:
-        leader, flood_rounds = _flood_leaders(
-            graph, fragment_edges, trace=trace, scheduler=scheduler, faults=faults
-        )
-        rounds += flood_rounds
-        if len(set(leader.values())) == 1:
-            break
-        moes, moe_rounds = _exchange_and_moe(
-            graph, leader, fragment_edges, trace=trace, scheduler=scheduler, faults=faults
-        )
-        rounds += moe_rounds
-        phases += 1
-        added = False
-        for chosen in moes.values():
-            if chosen is None:
-                continue
-            _, a, b = chosen
-            edge = frozenset((a, b))
-            if edge not in fragment_edges:
-                fragment_edges.add(edge)
-                added = True
-        if not added:  # pragma: no cover - disconnected guard
-            raise RuntimeError("no progress; graph disconnected?")
-        if phases > 2 * max(len(graph), 2).bit_length():
-            raise RuntimeError("Boruvka did not converge in O(log n) phases")
+    with trace_span(trace, "boruvka-mst"):
+        while True:
+            with trace_span(trace, "leader-flood", phase=phases + 1):
+                leader, flood_rounds = _flood_leaders(
+                    graph, fragment_edges, trace=trace, scheduler=scheduler,
+                    faults=faults, metrics=metrics,
+                )
+            rounds += flood_rounds
+            if len(set(leader.values())) == 1:
+                break
+            with trace_span(trace, "moe-convergecast", phase=phases + 1):
+                moes, moe_rounds = _exchange_and_moe(
+                    graph, leader, fragment_edges, trace=trace,
+                    scheduler=scheduler, faults=faults, metrics=metrics,
+                )
+            rounds += moe_rounds
+            phases += 1
+            added = False
+            for chosen in moes.values():
+                if chosen is None:
+                    continue
+                _, a, b = chosen
+                edge = frozenset((a, b))
+                if edge not in fragment_edges:
+                    fragment_edges.add(edge)
+                    added = True
+            if not added:  # pragma: no cover - disconnected guard
+                raise RuntimeError("no progress; graph disconnected?")
+            if phases > 2 * max(len(graph), 2).bit_length():
+                raise RuntimeError("Boruvka did not converge in O(log n) phases")
     return MSTRun(fragment_edges, phases, rounds)

@@ -32,6 +32,7 @@ contract (asserted by the regression suite).
 from __future__ import annotations
 
 import math
+import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
@@ -40,6 +41,7 @@ from .trace import RoundTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from .faults import FaultPlan
+    from ..obs import MetricsRegistry
 
 Node = Hashable
 
@@ -327,6 +329,7 @@ class Network:
         trace: Optional[RoundTrace] = None,
         scheduler: str = "active",
         faults: Optional["FaultPlan"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> RunResult:
         """Execute a node program on every node synchronously.
 
@@ -348,6 +351,13 @@ class Network:
         ``(src, dst, round)``, so identical plans replay bit-identically
         on both schedulers.  An empty plan behaves exactly like no plan
         (docs/MODEL.md, "The fault model").
+
+        ``metrics`` (a :class:`repro.obs.MetricsRegistry`) opts into the
+        ``congest_*`` counter/gauge/histogram family: per-round handler
+        wall-clock, per-node dispatch counts (hot-node detection) and
+        scheduler queue depth, alongside round/message/word/fault totals.
+        The registry only *reads* scheduler state, so a metered run is
+        bit-identical to an unmetered one (docs/OBSERVABILITY.md).
         """
         if scheduler not in ("active", "dense"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -394,6 +404,39 @@ class Network:
         # Round 1 dispatches every live node (the synchronous start).
         active: List[int] = [i for i in range(n) if not contexts[i].halted]
         run_id = trace.begin_run() if trace is not None else 0
+        # Metric handles resolved once per run; get-or-create means many
+        # runs (and many networks) share the same registry totals.
+        if metrics is not None:
+            m_rounds = metrics.counter(
+                "congest_rounds_total", "Synchronous rounds executed")
+            m_messages = metrics.counter(
+                "congest_messages_total",
+                "Messages sent (senders pay for dropped mail too)")
+            m_words = metrics.counter(
+                "congest_words_total", "Total payload words sent")
+            m_dropped = metrics.counter(
+                "congest_dropped_messages_total",
+                "Messages dropped on delivery to halted nodes")
+            m_lost = metrics.counter(
+                "congest_lost_messages_total",
+                "Messages destroyed by injected faults")
+            m_dup = metrics.counter(
+                "congest_duplicated_messages_total",
+                "Extra stutter copies delivered by injected faults")
+            m_round_wall = metrics.histogram(
+                "congest_round_wall_seconds",
+                "Wall-clock of the per-round handler dispatch loop")
+            m_queue = metrics.gauge(
+                "congest_scheduler_queue_depth",
+                "Nodes dispatched in the most recent round")
+            m_queue_peak = metrics.gauge(
+                "congest_scheduler_queue_depth_peak",
+                "Largest dispatch set seen in any round")
+            m_dispatch = metrics.counter(
+                "congest_node_dispatch_total",
+                "Rounds each node was dispatched (hot-node detection)",
+                labels=("node",))
+        counting = trace is not None or metrics is not None
         word_bits = self.word_bits
         budget = self.max_words
         rounds = 0
@@ -450,6 +493,7 @@ class Network:
             outgoing: List[Tuple[Node, int, Any]] = []
             round_words = 0
             round_max_words = 0
+            handler_t0 = time.perf_counter() if metrics is not None else 0.0
             for i in schedule:
                 ctx = contexts[i]
                 if ctx.halted or crashed[i]:
@@ -489,12 +533,15 @@ class Network:
                         )
                     if words > max_words_seen:
                         max_words_seen = words
-                    if trace is not None:
+                    if counting:
                         round_words += words
                         if words > round_max_words:
                             round_max_words = words
-                        trace.record_message(run_id, rounds, v, target, words)
+                        if trace is not None:
+                            trace.record_message(run_id, rounds, v, target, words)
                     outgoing.append((v, t, payload))
+            if metrics is not None:
+                m_round_wall.observe(time.perf_counter() - handler_t0)
             # Synchronous delivery: this round's sends arrive next round.
             next_active: List[int] = []
             scheduled = bytearray(n)
@@ -562,6 +609,20 @@ class Network:
                         next_active.append(i)
                 active = next_active
             sent_last_round = bool(outgoing) or bool(pending_dups)
+            if metrics is not None:
+                m_rounds.inc()
+                m_messages.inc(len(outgoing))
+                m_words.inc(round_words)
+                if dropped:
+                    m_dropped.inc(dropped)
+                if lost:
+                    m_lost.inc(lost)
+                if duplicated:
+                    m_dup.inc(duplicated)
+                m_queue.set(len(schedule))
+                m_queue_peak.set_max(len(schedule))
+                for i in schedule:
+                    m_dispatch.inc(node=nodes[i])
             if trace is not None:
                 trace.record_round(
                     run_id,

@@ -32,6 +32,7 @@ from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence
 
 import networkx as nx
 
+from ..obs import trace_span
 from ..shortcuts.shortcuts import ShortcutStructure, build_shortcuts
 from ..trees.rooted import RootedTree
 from ..trees.spanning import bfs_tree
@@ -74,6 +75,7 @@ def partwise_aggregation_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> PartwiseRun:
     """Aggregate every part's values at the BFS root, at message level."""
     if tree is None:
@@ -148,15 +150,17 @@ def partwise_aggregation_run(
             ctx.wake()  # more parts already ready to pipeline upward
         return {up: (part, ctx.state["acc"][part])}
 
-    result = Network(graph).run(
-        init,
-        on_round,
-        max_rounds=8 * len(graph) + len(parts) + 32,
-        stop_when_quiet=True,
-        trace=trace,
-        scheduler=scheduler,
-        faults=faults,
-    )
+    with trace_span(trace, "partwise-upcast", parts=len(parts)):
+        result = Network(graph).run(
+            init,
+            on_round,
+            max_rounds=8 * len(graph) + len(parts) + 32,
+            stop_when_quiet=True,
+            trace=trace,
+            scheduler=scheduler,
+            faults=faults,
+            metrics=metrics,
+        )
     root_out = result.outputs.get(root)
     if root_out is None:  # pragma: no cover - root halted without output
         raise RuntimeError("aggregation did not complete")
@@ -177,6 +181,7 @@ def partwise_broadcast_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> PartwiseRun:
     """The downcast half of Prop. 4: deliver each part's value to all its
     members over the shortcut edges, pipelined one (part, value) pair per
@@ -244,16 +249,18 @@ def partwise_broadcast_run(
             ctx.wake()  # keep pipelining (or come back to halt) next round
         return sends or None
 
-    result = Network(graph).run(
-        init,
-        on_round,
-        max_rounds=8 * len(graph) + len(parts) + 32,
-        finalize=lambda ctx: dict(ctx.state["received"]),
-        stop_when_quiet=True,
-        trace=trace,
-        scheduler=scheduler,
-        faults=faults,
-    )
+    with trace_span(trace, "partwise-downcast", parts=len(parts)):
+        result = Network(graph).run(
+            init,
+            on_round,
+            max_rounds=8 * len(graph) + len(parts) + 32,
+            finalize=lambda ctx: dict(ctx.state["received"]),
+            stop_when_quiet=True,
+            trace=trace,
+            scheduler=scheduler,
+            faults=faults,
+            metrics=metrics,
+        )
     received: Dict[int, int] = {}
     for i, part in enumerate(parts):
         member = min(part, key=repr)

@@ -12,20 +12,37 @@ One trace object may span several ``Network.run`` invocations (the
 multi-pass sims re-arm the simulator per pass); each run gets an increasing
 ``run`` id via :meth:`RoundTrace.begin_run`.
 
+A :class:`repro.obs.tracing.Tracer` may be attached (``tracer.attach(trace)``);
+round records are then stamped with the innermost open span's id and the
+span accumulates the round's counters, giving phase-attributed cost
+profiles (see ``docs/OBSERVABILITY.md``).
+
 For offline analysis, :meth:`RoundTrace.dump_jsonl` writes one JSON object
-per line — round records, then warnings, then a summary — and
-:func:`read_jsonl` loads them back.  Node identifiers that are not JSON
-types are serialized via ``repr``.
+per line — a schema header, then round records interleaved with span
+open/close events, then warnings, then per-edge bandwidth records, then a
+summary — and :func:`read_jsonl` loads them back, validating the schema
+header and warning on unknown record kinds.  Node identifiers that are
+not JSON types are serialized via ``repr``.
 """
 
 from __future__ import annotations
 
 import json
+import warnings as _warnings
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 Node = Hashable
 
-__all__ = ["RoundRecord", "RoundTrace", "read_jsonl"]
+__all__ = ["RoundRecord", "RoundTrace", "read_jsonl", "SCHEMA_VERSION", "KNOWN_KINDS"]
+
+#: Version of the JSONL dump layout.  v1 dumps (pre-header) are still
+#: readable; v2 added the schema header, span events and edge records.
+SCHEMA_VERSION = 2
+
+#: Record kinds a conforming reader must expect.
+KNOWN_KINDS = frozenset(
+    {"schema", "round", "warning", "summary", "edge", "span-open", "span-close"}
+)
 
 
 class RoundRecord:
@@ -56,6 +73,11 @@ class RoundRecord:
     duplicated:
         Extra stutter copies delivered this round by an injected
         duplication fault.
+    span:
+        Id of the innermost open :class:`repro.obs.tracing.Span` when the
+        round was recorded, or ``None`` when no tracer was attached / no
+        span was open.  Excluded from ``run_fingerprint`` by construction
+        (the fingerprint feeds explicit fields only).
     """
 
     __slots__ = (
@@ -68,6 +90,7 @@ class RoundRecord:
         "max_words",
         "lost",
         "duplicated",
+        "span",
     )
 
     def __init__(
@@ -81,6 +104,7 @@ class RoundRecord:
         max_words: int,
         lost: int = 0,
         duplicated: int = 0,
+        span: Optional[int] = None,
     ):
         self.run = run
         self.round = round
@@ -91,6 +115,7 @@ class RoundRecord:
         self.max_words = max_words
         self.lost = lost
         self.duplicated = duplicated
+        self.span = span
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -104,6 +129,7 @@ class RoundRecord:
             "max_words": self.max_words,
             "lost": self.lost,
             "duplicated": self.duplicated,
+            "span": self.span,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -133,12 +159,16 @@ class RoundTrace:
         #: (run, round, src, dst, words) of the single largest message seen
         self.offender: Optional[Tuple[int, int, Node, Node, int]] = None
         self.total_messages = 0
+        self.total_words = 0
         self.total_dropped = 0
         self.total_lost = 0
         self.total_duplicated = 0
         self.peak_active = 0
         self.runs = 0
         self._edge_histograms = edge_histograms
+        #: set by ``Tracer.attach``; when present, recorded rounds are
+        #: attributed to the innermost open span
+        self.tracer = None
 
     # -- hooks called by Network.run -----------------------------------
     def begin_run(self) -> int:
@@ -166,13 +196,22 @@ class RoundTrace:
         lost: int = 0,
         duplicated: int = 0,
     ) -> None:
+        span = self.tracer.current if self.tracer is not None else None
         self.records.append(
             RoundRecord(
                 run, rnd, active, messages, words, dropped, max_words,
-                lost, duplicated,
+                lost, duplicated, span.id if span is not None else None,
             )
         )
+        if span is not None:
+            span.rounds += 1
+            span.messages += messages
+            span.words += words
+            span.dropped += dropped
+            span.lost += lost
+            span.duplicated += duplicated
         self.total_messages += messages
+        self.total_words += words
         self.total_dropped += dropped
         self.total_lost += lost
         self.total_duplicated += duplicated
@@ -193,6 +232,7 @@ class RoundTrace:
             "runs": self.runs,
             "rounds": rounds,
             "messages": self.total_messages,
+            "words": self.total_words,
             "dropped": self.total_dropped,
             "lost": self.total_lost,
             "duplicated": self.total_duplicated,
@@ -201,20 +241,82 @@ class RoundTrace:
             "max_words": self.max_words,
             "offender": self.offender,
             "warnings": len(self.warnings),
+            "spans": len(self.tracer.spans) if self.tracer is not None else 0,
         }
 
-    def dump_jsonl(self, path) -> int:
-        """Write the trace as JSONL; returns the number of lines written."""
+    def edge_records(
+        self, top_edges: int = 16, full_histograms: bool = False
+    ) -> List[Dict[str, Any]]:
+        """Per-edge bandwidth records, heaviest first.
+
+        Ranked by total words over the directed edge; ``top_edges`` caps
+        the list (``None`` or ``full_histograms`` keeps everything).
+        """
+        ranked = sorted(
+            self.edge_words.items(),
+            key=lambda kv: (
+                -sum(w * n for w, n in kv[1].items()),
+                repr(kv[0]),
+            ),
+        )
+        if not full_histograms and top_edges is not None:
+            ranked = ranked[:top_edges]
+        out = []
+        for (src, dst), hist in ranked:
+            out.append(
+                {
+                    "kind": "edge",
+                    "src": src,
+                    "dst": dst,
+                    "messages": sum(hist.values()),
+                    "words": sum(w * n for w, n in hist.items()),
+                    "max_words": max(hist),
+                    "hist": {str(w): hist[w] for w in sorted(hist)},
+                }
+            )
+        return out
+
+    def dump_jsonl(
+        self, path, top_edges: int = 16, full_edge_histograms: bool = False
+    ) -> int:
+        """Write the trace as JSONL; returns the number of lines written.
+
+        Layout (schema v2): a ``schema`` header line, then round records
+        interleaved with span open/close events in chronological order
+        (a span's events sit at its ``open_at``/``close_at`` record
+        indices), then warnings, then the ``top_edges`` heaviest per-edge
+        bandwidth records (all of them, with full word histograms, when
+        ``full_edge_histograms`` is set), then the summary — always last,
+        so ``tail -1`` is the aggregate view.
+        """
+        # The tracer's chronological event log, bucketed by the record
+        # index each open/close occurred at; within an index the log
+        # order is preserved, so nesting always reads correctly.
+        events: Dict[int, List[Dict[str, Any]]] = {}
+        if self.tracer is not None:
+            for index, what, span in self.tracer.events:
+                events.setdefault(index, []).append(
+                    span.open_event() if what == "open" else span.close_event()
+                )
         lines = 0
         with open(path, "w") as fh:
-            for rec in self.records:
-                fh.write(json.dumps(rec.as_dict(), default=repr) + "\n")
+            def emit(obj) -> None:
+                nonlocal lines
+                fh.write(json.dumps(obj, default=repr) + "\n")
                 lines += 1
+
+            emit({"kind": "schema", "version": SCHEMA_VERSION,
+                  "generator": "repro.congest.trace"})
+            for index in range(len(self.records) + 1):
+                for event in events.get(index, ()):
+                    emit(event)
+                if index < len(self.records):
+                    emit(self.records[index].as_dict())
             for message in self.warnings:
-                fh.write(json.dumps({"kind": "warning", "message": message}) + "\n")
-                lines += 1
-            fh.write(json.dumps({"kind": "summary", **self.summary()}, default=repr) + "\n")
-            lines += 1
+                emit({"kind": "warning", "message": message})
+            for edge in self.edge_records(top_edges, full_edge_histograms):
+                emit(edge)
+            emit({"kind": "summary", **self.summary()})
         return lines
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -226,6 +328,37 @@ class RoundTrace:
 
 
 def read_jsonl(path) -> List[Dict[str, Any]]:
-    """Load a trace dump written by :meth:`RoundTrace.dump_jsonl`."""
+    """Load a trace dump written by :meth:`RoundTrace.dump_jsonl`.
+
+    Validates the ``schema`` header: a dump without one is read as a
+    legacy (v1) dump with a warning, a newer-than-supported version
+    warns, and unknown record ``kind`` values warn instead of silently
+    passing through.  All records — header included — are returned.
+    """
     with open(path) as fh:
-        return [json.loads(line) for line in fh if line.strip()]
+        records = [json.loads(line) for line in fh if line.strip()]
+    if not records:
+        return records
+    first = records[0]
+    if first.get("kind") != "schema":
+        _warnings.warn(
+            f"{path}: legacy trace dump without a schema header; "
+            f"reading as schema v1",
+            stacklevel=2,
+        )
+    elif first.get("version", 0) > SCHEMA_VERSION:
+        _warnings.warn(
+            f"{path}: trace dump schema v{first.get('version')} is newer "
+            f"than supported v{SCHEMA_VERSION}; records may be missing fields",
+            stacklevel=2,
+        )
+    unknown = sorted(
+        {rec.get("kind") for rec in records} - KNOWN_KINDS - {None}
+    )
+    if unknown:
+        _warnings.warn(
+            f"{path}: unknown record kinds {unknown!r} "
+            f"(known: {sorted(KNOWN_KINDS)})",
+            stacklevel=2,
+        )
+    return records

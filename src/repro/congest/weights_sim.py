@@ -38,6 +38,7 @@ from typing import Dict, Hashable, Optional, Tuple
 import networkx as nx
 
 from ..core.config import PlanarConfiguration
+from ..obs import trace_span
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
 
@@ -73,6 +74,7 @@ def _size_convergecast(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> Tuple[Dict[Node, Dict[Node, int]], int]:
     """Pass 1: child subtree sizes, learned at each parent by messages."""
     tree = cfg.tree
@@ -95,7 +97,7 @@ def _size_convergecast(
 
     result = Network(cfg.graph).run(
         init, on_round, max_rounds=2 * cfg.n + 8, trace=trace,
-        scheduler=scheduler, faults=faults,
+        scheduler=scheduler, faults=faults, metrics=metrics,
     )
     return dict(result.outputs), result.rounds
 
@@ -106,6 +108,7 @@ def _order_downcast(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> Tuple[Dict[Node, Tuple[int, int, int]], int]:
     """Pass 2: assign (pi_l, pi_r, depth) top-down."""
     tree = cfg.tree
@@ -148,7 +151,7 @@ def _order_downcast(
     result = Network(cfg.graph).run(
         init, on_round, max_rounds=2 * cfg.n + 8, stop_when_quiet=True,
         finalize=lambda ctx: ctx.state["me"],
-        trace=trace, scheduler=scheduler, faults=faults,
+        trace=trace, scheduler=scheduler, faults=faults, metrics=metrics,
     )
     return dict(result.outputs), result.rounds
 
@@ -158,15 +161,21 @@ def weights_problem_run(
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults=None,
+    metrics=None,
 ) -> WeightsRun:
     """Run the full message-level WEIGHTS-PROBLEM on one configuration."""
     tree = cfg.tree
-    child_sizes, rounds1 = _size_convergecast(
-        cfg, trace=trace, scheduler=scheduler, faults=faults
-    )
-    orders, rounds2 = _order_downcast(
-        cfg, child_sizes, trace=trace, scheduler=scheduler, faults=faults
-    )
+    with trace_span(trace, "weights-problem"):
+        with trace_span(trace, "size-convergecast"):
+            child_sizes, rounds1 = _size_convergecast(
+                cfg, trace=trace, scheduler=scheduler, faults=faults,
+                metrics=metrics,
+            )
+        with trace_span(trace, "order-downcast"):
+            orders, rounds2 = _order_downcast(
+                cfg, child_sizes, trace=trace, scheduler=scheduler,
+                faults=faults, metrics=metrics,
+            )
     pi_l = {v: orders[v][0] for v in cfg.graph.nodes}
     pi_r = {v: orders[v][1] for v in cfg.graph.nodes}
     depth = {v: orders[v][2] for v in cfg.graph.nodes}

@@ -1,0 +1,37 @@
+"""Observability for the CONGEST stack: spans, metrics, trace analysis.
+
+Three sub-layers, all opt-in and all deterministic-by-construction (they
+observe a run, they never steer it — ``run_fingerprint`` is bit-identical
+with and without them):
+
+* :mod:`.tracing` — phase attribution.  A :class:`Tracer` hands out
+  nesting ``span(...)`` context managers; attached to a live
+  :class:`repro.congest.trace.RoundTrace`, every round, message, word,
+  lost/duplicated count and wall-clock interval is attributed to the
+  *innermost* open span.  The five message-level sims and the resilient
+  primitives open their own named spans, so a traced run decomposes into
+  the paper's phases (embedding, weight aggregation, fragment merging,
+  partwise aggregation, DFS stitching) without print statements.
+* :mod:`.metrics` — a named counter/gauge/histogram registry with a
+  Prometheus-style text exposition and a JSON export; fed per round by
+  ``Network.run(metrics=...)`` (handler wall-clock, per-node dispatch
+  counts, scheduler queue depth) and per unit by the experiment runner.
+* :mod:`.analyze` — offline analysis of trace JSONL dumps, behind the
+  ``repro trace summarize|phases|edges|diff`` CLI.
+
+The full model is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import NULL_SPAN, Span, Tracer, trace_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "trace_span",
+]

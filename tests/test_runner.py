@@ -200,16 +200,19 @@ class TestArtifacts:
     def test_write_artifacts_and_tables(self, tmp_path, e13_run):
         written = runner.write_artifacts({"e13": e13_run}, tmp_path)
         names = sorted(p.name for p in written)
-        assert names == ["e13.json", "e13.txt"]
+        assert names == ["e13.json", "e13.txt", "metrics.prom"]
         loaded = json.loads((tmp_path / "e13.json").read_text())
         assert loaded["rows"] == e13_run.rows
         text = (tmp_path / "e13.txt").read_text()
         assert text.startswith("# generated-by:")
         assert "# git-sha:" in text and "# generated-at:" in text
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE repro_units_total counter" in prom
+        assert 'repro_units_total{experiment="e13",status="ok"}' in prom
 
     def test_json_only_skips_tables(self, tmp_path, e13_run):
         written = runner.write_artifacts({"e13": e13_run}, tmp_path, json_only=True)
-        assert [p.name for p in written] == ["e13.json"]
+        assert [p.name for p in written] == ["e13.json", "metrics.prom"]
 
     def test_summary_schema(self, e13_run):
         summary = runner.summary_dict({"e13": e13_run}, grid="default")
@@ -217,6 +220,8 @@ class TestArtifacts:
         assert summary["grid"] == "default"
         assert summary["git_sha"] and summary["generated_at"]
         assert summary["experiments"]["e13"]["rows"] == e13_run.rows
+        assert summary["metrics"]["repro_units_total"]["type"] == "counter"
+        json.dumps(summary["metrics"])  # must be pure JSON
 
     def test_write_and_load_summary_roundtrip(self, tmp_path, e13_run):
         path = tmp_path / "BENCH_SUMMARY.json"
