@@ -60,8 +60,15 @@ _FINGERPRINTED_SOURCES = (
     "trees/rooted.py",
     "shortcuts/shortcuts.py",
     "congest/ledger.py",
+    "congest/network.py",
+    "congest/faults.py",
+    "congest/transport.py",
+    "congest/algorithms.py",
+    "congest/awerbuch.py",
     "analysis/workloads.py",
     "analysis/experiments.py",
+    "chaos/scenarios.py",
+    "chaos/campaign.py",
 )
 
 _computed_version: Optional[str] = None

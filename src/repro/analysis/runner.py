@@ -604,19 +604,29 @@ def write_artifacts(
     return written
 
 
-def summary_dict(runs: Dict[str, ExperimentRun], *, grid: str = "default") -> Dict[str, Any]:
+def summary_dict(
+    runs: Dict[str, ExperimentRun],
+    *,
+    grid: str = "default",
+    extra_metrics: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """The ``BENCH_SUMMARY.json`` rollup: every experiment's rows and
     timing headline in one self-describing file (the ``--compare`` input).
 
-    Carries a ``metrics`` mirror of :func:`metrics_registry`; the
-    regression gate only reads ``experiments`` so the extra key is inert
-    for comparisons against older summaries.
+    Carries a ``metrics`` mirror of :func:`metrics_registry`;
+    ``extra_metrics`` (e.g. the ``repro_chaos_*`` counters from a campaign
+    summary) is merged into that mirror.  The regression gate only reads
+    ``experiments`` so both are inert for comparisons against older
+    summaries.
     """
+    metrics = metrics_registry(runs).to_dict()
+    if extra_metrics:
+        metrics.update(extra_metrics)
     return {
         "schema_version": SCHEMA_VERSION,
         "grid": grid,
         **provenance(),
-        "metrics": metrics_registry(runs).to_dict(),
+        "metrics": metrics,
         "experiments": {
             key: {
                 "claim_ref": run.claim,
@@ -640,10 +650,14 @@ def summary_dict(runs: Dict[str, ExperimentRun], *, grid: str = "default") -> Di
 
 
 def write_summary(
-    path: "pathlib.Path | str", runs: Dict[str, ExperimentRun], *, grid: str = "default"
+    path: "pathlib.Path | str",
+    runs: Dict[str, ExperimentRun],
+    *,
+    grid: str = "default",
+    extra_metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Write the rollup and return it."""
-    summary = summary_dict(runs, grid=grid)
+    summary = summary_dict(runs, grid=grid, extra_metrics=extra_metrics)
     path = pathlib.Path(path)
     if path.parent != pathlib.Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)

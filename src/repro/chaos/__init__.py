@@ -1,0 +1,40 @@
+"""Seeded chaos campaigns over the CONGEST sims (``docs/CHAOS.md``).
+
+Three layers:
+
+* :mod:`.scenarios` — named end-to-end workloads (broadcast … full
+  separator+DFS pipeline), each run under an optional
+  :class:`~repro.congest.faults.FaultPlan` and
+  :class:`~repro.congest.transport.ReliableTransport` and checked against
+  the :mod:`repro.core.verify` oracles;
+* :mod:`.campaign` — sweeps a seeded fault-plan grid across scenarios
+  through the experiment runner (cacheable units, JSON artifacts,
+  ``repro_chaos_*`` metrics);
+* :mod:`.shrink` — reduces a failing fault plan to a minimal explicit
+  reproducer (record fired faults, then ddmin) and emits it as a
+  ready-to-paste regression test stanza.
+"""
+
+from .scenarios import SCENARIOS, run_scenario
+from .campaign import (
+    CAMPAIGNS,
+    CampaignConfig,
+    campaign_metrics,
+    run_campaign,
+    write_campaign,
+)
+from .shrink import RecordingPlan, ShrinkResult, emit_stanza, shrink_unit
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignConfig",
+    "RecordingPlan",
+    "SCENARIOS",
+    "ShrinkResult",
+    "campaign_metrics",
+    "emit_stanza",
+    "run_campaign",
+    "run_scenario",
+    "shrink_unit",
+    "write_campaign",
+]

@@ -1,0 +1,285 @@
+"""Fault-plan shrinking: from a failing grid point to a minimal reproducer.
+
+A rate-based :class:`~repro.congest.faults.FaultPlan` that breaks a
+scenario fires dozens of coin-flip faults; almost all of them are noise.
+Shrinking turns the failure into something a human can read and a test
+suite can keep:
+
+1. **Record** — rerun the failing unit under a :class:`RecordingPlan`, a
+   transparent ``FaultPlan`` subclass that notes every fault that actually
+   *fired* (the coins are pure functions of ``(seed, kind, src, dst,
+   round)``, so recording changes nothing about the run).
+2. **Materialize** — rebuild an explicit-schedule plan from the fired
+   entries (rates zeroed; same seed, so corrupt bit-flips replay
+   identically) and assert it reproduces the *same* violation string.
+3. **ddmin** — delta-debug the entry list down to a 1-minimal subset:
+   remove chunks (halves, then quarters, … then singletons) while the
+   exact violation survives.
+4. **Emit** — render the minimal plan as a ready-to-paste pytest stanza
+   (:func:`emit_stanza`), the thing you commit next to the bug fix.
+
+Every step is deterministic: the same unit shrinks to the same entries
+and the same stanza on every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..congest.faults import FaultPlan
+from ..congest.transport import ReliableTransport
+from .scenarios import run_scenario
+
+__all__ = [
+    "RecordingPlan",
+    "ShrinkResult",
+    "ddmin",
+    "emit_stanza",
+    "materialize",
+    "shrink_unit",
+]
+
+#: An entry in the shrinkable schedule: ``("drop"|"dup"|"corrupt", src,
+#: dst, round)`` or ``("crash", node, round)``.
+Entry = Tuple[Any, ...]
+
+
+class RecordingPlan(FaultPlan):
+    """A ``FaultPlan`` that records which faults actually fire.
+
+    Behaviour is bit-identical to the base plan (the overrides only
+    observe), so the recorded run *is* the failing run.  ``fired``
+    accumulates deduplicated entries; message identities repeat across the
+    multi-pass sims, and one entry per ``(kind, src, dst, round)`` is all
+    an explicit schedule needs.
+    """
+
+    def __init__(self, base: FaultPlan):
+        super().__init__(
+            base.seed,
+            drop_rate=base.drop_rate,
+            duplicate_rate=base.duplicate_rate,
+            corrupt_rate=base.corrupt_rate,
+            drops=base.drops,
+            duplicates=base.duplicates,
+            corruptions=base.corruptions,
+            crashes=base.crashes,
+            link_downs=base.link_downs,
+        )
+        self.fired: set = set()
+
+    def copies(self, src, dst, rnd) -> int:
+        count = super().copies(src, dst, rnd)
+        if count == 0:
+            # A link-down loss materializes as an explicit drop: the
+            # physical effect (message destroyed) is identical.
+            self.fired.add(("drop", src, dst, rnd))
+        elif count > 1:
+            self.fired.add(("dup", src, dst, rnd))
+        return count
+
+    def mangles(self, src, dst, rnd) -> bool:
+        fires = super().mangles(src, dst, rnd)
+        if fires:
+            self.fired.add(("corrupt", src, dst, rnd))
+        return fires
+
+    def entries(self) -> List[Entry]:
+        """Fired faults plus the plan's crash schedule, deterministically
+        ordered (crashes are not coin-based, so they are carried over)."""
+        out: List[Entry] = sorted(self.fired, key=repr)
+        out.extend(("crash", node, rnd) for node, rnd in
+                   sorted(self.crash_round.items(), key=repr))
+        return out
+
+
+def materialize(entries: Sequence[Entry], *, seed: int) -> FaultPlan:
+    """An explicit-schedule plan firing exactly ``entries``.
+
+    ``seed`` must be the original plan's seed: corrupt faults derive their
+    flipped bit from it, and a reproducer is only a reproducer if the same
+    bit flips.
+    """
+    drops, dups, corruptions, crashes = [], [], [], []
+    for entry in entries:
+        kind = entry[0]
+        if kind == "drop":
+            drops.append(entry[1:])
+        elif kind == "dup":
+            dups.append(entry[1:])
+        elif kind == "corrupt":
+            corruptions.append(entry[1:])
+        elif kind == "crash":
+            crashes.append(entry[1:])
+        else:
+            raise ValueError(f"unknown shrink entry kind {kind!r}")
+    return FaultPlan(
+        seed=seed,
+        drops=drops,
+        duplicates=dups,
+        corruptions=corruptions,
+        crashes=crashes,
+    )
+
+
+def ddmin(
+    entries: List[Entry], fails: Callable[[List[Entry]], bool]
+) -> Tuple[List[Entry], int]:
+    """Classic delta debugging to a 1-minimal failing subset.
+
+    ``fails(subset)`` must be deterministic.  Returns ``(minimal subset,
+    number of test evaluations)``.  The result is 1-minimal: removing any
+    single remaining entry makes the failure disappear.
+    """
+    tests = 0
+    granularity = 2
+    while len(entries) >= 2:
+        chunk = max(1, len(entries) // granularity)
+        reduced = False
+        start = 0
+        while start < len(entries):
+            candidate = entries[:start] + entries[start + chunk:]
+            tests += 1
+            if candidate and fails(candidate):
+                entries = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart the sweep on the smaller list.
+                start = 0
+                chunk = max(1, len(entries) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(entries):
+                break
+            granularity = min(len(entries), granularity * 2)
+    return entries, tests
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal schedule and its provenance."""
+
+    scenario: str
+    n: int
+    graph_seed: int
+    seed: int
+    violation: str
+    entries: List[Entry]
+    recorded_entries: int
+    tests_run: int
+    transport: bool
+
+    def plan(self) -> FaultPlan:
+        return materialize(self.entries, seed=self.seed)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "n": self.n,
+            "graph_seed": self.graph_seed,
+            "seed": self.seed,
+            "violation": self.violation,
+            "entries": [[repr(x) for x in e] for e in self.entries],
+            "recorded_entries": self.recorded_entries,
+            "tests_run": self.tests_run,
+            "transport": self.transport,
+        }
+
+
+def shrink_unit(
+    unit: Dict[str, Any], plan: Optional[FaultPlan] = None
+) -> ShrinkResult:
+    """Shrink one failing chaos unit to a minimal explicit fault plan.
+
+    ``unit`` is a campaign unit dict (``scenario``/``n``/``graph_seed``/
+    ``seed``/rates/``transport``); ``plan`` overrides the unit's derived
+    plan when the caller already has one.  Raises ``ValueError`` when the
+    unit does not fail (nothing to shrink) or when the materialized
+    schedule fails to reproduce the violation (a determinism bug worth
+    hearing about loudly).
+    """
+    from .campaign import unit_plan  # local import: campaign imports us
+
+    base = plan if plan is not None else unit_plan(unit)
+    if base is None:
+        raise ValueError("unit has an empty fault plan; nothing to shrink")
+    transport_on = unit.get("transport", True)
+
+    def outcome_of(p: Optional[FaultPlan]) -> Dict[str, Any]:
+        return run_scenario(
+            unit["scenario"],
+            n=unit["n"],
+            graph_seed=unit["graph_seed"],
+            plan=p,
+            transport=ReliableTransport() if transport_on else None,
+        )
+
+    recording = RecordingPlan(base)
+    first = outcome_of(recording)
+    if first["ok"]:
+        raise ValueError(
+            f"unit does not fail (scenario {unit['scenario']!r}); "
+            "nothing to shrink"
+        )
+    violation = first["violation"]
+    entries = recording.entries()
+
+    def fails(subset: List[Entry]) -> bool:
+        return outcome_of(
+            materialize(subset, seed=base.seed)
+        )["violation"] == violation
+
+    if not fails(entries):
+        raise ValueError(
+            "materialized schedule did not reproduce the violation — "
+            "the run is not a pure function of the fired faults"
+        )
+    minimal, tests = ddmin(entries, fails)
+    return ShrinkResult(
+        scenario=unit["scenario"],
+        n=unit["n"],
+        graph_seed=unit["graph_seed"],
+        seed=base.seed,
+        violation=violation,
+        entries=minimal,
+        recorded_entries=len(entries),
+        tests_run=tests + 1,
+        transport=transport_on,
+    )
+
+
+def emit_stanza(result: ShrinkResult) -> str:
+    """A ready-to-paste pytest regression stanza for the shrunk plan."""
+    kinds = {"drop": [], "dup": [], "corrupt": [], "crash": []}
+    for entry in result.entries:
+        kinds[entry[0]].append(entry[1:])
+    plan_args = [f"seed={result.seed}"]
+    arg_name = {"drop": "drops", "dup": "duplicates",
+                "corrupt": "corruptions", "crash": "crashes"}
+    for kind, name in arg_name.items():
+        if kinds[kind]:
+            plan_args.append(f"{name}={kinds[kind]!r}")
+    transport_arg = (
+        "transport=ReliableTransport()" if result.transport else "transport=None"
+    )
+    slug = f"{result.scenario}_s{result.seed}"
+    return (
+        f"def test_chaos_regression_{slug}():\n"
+        f'    """Shrunk chaos reproducer ({len(result.entries)} fault '
+        f'entr{"y" if len(result.entries) == 1 else "ies"}).\n'
+        f"\n"
+        f"    Violation: {result.violation}\n"
+        f'    """\n'
+        f"    from repro.chaos.scenarios import run_scenario\n"
+        f"    from repro.congest import FaultPlan, ReliableTransport\n"
+        f"\n"
+        f"    plan = FaultPlan({', '.join(plan_args)})\n"
+        f"    outcome = run_scenario(\n"
+        f"        {result.scenario!r}, n={result.n}, "
+        f"graph_seed={result.graph_seed},\n"
+        f"        plan=plan, {transport_arg},\n"
+        f"    )\n"
+        f"    assert outcome[\"violation\"] == {result.violation!r}\n"
+    )

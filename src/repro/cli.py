@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands, mirroring the library's public entry points:
+Six commands, mirroring the library's public entry points:
 
 * ``separator`` — Theorem 1 on one generated instance, with balance report
   and round ledger;
@@ -20,7 +20,13 @@ Five commands, mirroring the library's public entry points:
   ``record`` runs a traced E2-style workload and writes a span-annotated
   JSONL dump (plus an optional Prometheus ``--metrics`` exposition);
   ``summarize`` / ``phases`` / ``edges`` analyze a dump offline;
-  ``diff`` compares two dumps phase by phase.
+  ``diff`` compares two dumps phase by phase;
+* ``chaos`` — seeded chaos campaigns (``docs/CHAOS.md``): ``run`` sweeps
+  a named fault-plan grid against the oracle-checked scenarios and
+  writes a campaign JSON artifact (``--fail-on-violation`` for CI);
+  ``shrink`` reduces one failing grid point to a minimal explicit fault
+  plan and prints a ready-to-paste regression test; ``report``
+  pretty-prints a campaign artifact.
 """
 
 from __future__ import annotations
@@ -259,6 +265,141 @@ def _cmd_trace_diff(args) -> int:
     return 0
 
 
+def _campaign_cache(args):
+    from .analysis.cache import InstanceCache
+
+    if args.no_cache:
+        return None
+    cache_dir = args.cache_dir
+    if cache_dir is None and pathlib.Path("benchmarks").is_dir():
+        cache_dir = "benchmarks/.cache"
+    return InstanceCache(cache_dir) if cache_dir is not None else None
+
+
+def _render_campaign(summary) -> str:
+    cov = summary["coverage"]
+    lines = [
+        f"campaign {summary['campaign']!r}: {cov['rows']} row(s), "
+        f"{cov['violations']} violation(s), "
+        f"{summary['units_cached']}/{summary['units']} cached, "
+        f"{summary['units_failed']} unit failure(s), "
+        f"wall {summary['wall_s']:.1f}s",
+    ]
+    if summary.get("worst_overhead"):
+        lines.append(
+            f"worst faulted/clean round overhead: {summary['worst_overhead']}"
+        )
+    width = max(len(s) for s in cov["by_scenario"]) if cov["by_scenario"] else 8
+    for scenario in sorted(cov["by_scenario"]):
+        bucket = cov["by_scenario"][scenario]
+        verdict = (
+            "ok" if not bucket["violations"]
+            else f"{bucket['violations']} VIOLATION(S)"
+        )
+        lines.append(f"  {scenario:<{width}}  {bucket['units']:>3} unit(s)  {verdict}")
+    for violation in summary["violations"]:
+        plan = violation.get("plan") or {}
+        rates = ", ".join(
+            f"{k}={plan[k]}"
+            for k in ("drop_rate", "duplicate_rate", "corrupt_rate")
+            if plan.get(k)
+        )
+        lines.append(
+            f"  VIOLATION {violation['scenario']} seed={violation['seed']} "
+            f"({rates}): {violation['violation']}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_chaos_run(args) -> int:
+    import dataclasses
+
+    from .chaos import campaign as chaos
+
+    config = chaos.CAMPAIGNS.get(args.campaign)
+    if config is None:
+        raise SystemExit(
+            f"unknown campaign {args.campaign!r}; "
+            f"choose from {sorted(chaos.CAMPAIGNS)}"
+        )
+    if args.transport_retries is not None:
+        config = dataclasses.replace(
+            config, transport_retries=args.transport_retries
+        )
+    summary = chaos.run_campaign(
+        config, cache=_campaign_cache(args), retries=args.retries
+    )
+    print(_render_campaign(summary))
+    results_dir = args.results_dir
+    if results_dir is None and pathlib.Path("benchmarks").is_dir():
+        results_dir = "benchmarks/results"
+    if results_dir is not None:
+        written = chaos.write_campaign(summary, results_dir)
+        print(f"wrote {len(written)} artifact(s) under {results_dir}")
+    bad = summary["coverage"]["violations"] + summary["units_failed"]
+    if args.fail_on_violation and bad:
+        print(f"FAIL: {bad} violation(s)/unit failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos_shrink(args) -> int:
+    from .chaos.shrink import emit_stanza, shrink_unit
+
+    unit = {
+        "scenario": args.scenario,
+        "n": args.n,
+        "graph_seed": args.graph_seed,
+        "seed": args.seed,
+        "drop_rate": args.drop_rate,
+        "duplicate_rate": args.duplicate_rate,
+        "corrupt_rate": args.corrupt_rate,
+        "transport": not args.no_transport,
+    }
+    try:
+        result = shrink_unit(unit)
+    except (KeyError, ValueError) as exc:
+        print(f"shrink failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"shrunk {result.recorded_entries} recorded fault(s) to "
+        f"{len(result.entries)} in {result.tests_run} test run(s); "
+        f"violation: {result.violation}"
+    )
+    print()
+    print(emit_stanza(result))
+    if args.max_entries is not None and len(result.entries) > args.max_entries:
+        print(
+            f"FAIL: minimal plan has {len(result.entries)} entries "
+            f"(> --max-entries {args.max_entries})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_chaos_report(args) -> int:
+    import json
+
+    summary = json.loads(pathlib.Path(args.path).read_text())
+    print(_render_campaign(summary))
+    config = summary.get("config", {})
+    grid = ", ".join(
+        f"{k}={config[k]}"
+        for k in (
+            "n", "graph_seed", "fault_seeds",
+            "drop_rates", "duplicate_rates", "corrupt_rates",
+        )
+        if k in config
+    )
+    if grid:
+        print(f"grid: {grid}")
+    counters = summary.get("counters", {})
+    for name in sorted(counters):
+        print(f"  {name} = {counters[name]}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -366,6 +507,62 @@ def main(argv=None) -> int:
     t_d.add_argument("dump", help="trace A (baseline)")
     t_d.add_argument("other", help="trace B (candidate)")
     t_d.set_defaults(func=_cmd_trace_diff)
+
+    p_c = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaigns with oracle checks and plan shrinking",
+        description="Sweep seeded fault-plan grids against oracle-checked "
+        "scenarios, shrink failures to minimal reproducers; see "
+        "docs/CHAOS.md for the campaign model and artifact schema.",
+    )
+    c_sub = p_c.add_subparsers(dest="chaos_command", required=True)
+
+    c_run = c_sub.add_parser("run", help="run a named campaign grid")
+    c_run.add_argument("--campaign", default="smoke",
+                       help="campaign name (default 'smoke'; see CAMPAIGNS)")
+    c_run.add_argument("--results-dir", default=None, metavar="DIR",
+                       help="artifact destination (default benchmarks/results "
+                       "when present)")
+    c_run.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk unit cache")
+    c_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default benchmarks/.cache when present)")
+    c_run.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="runner retries for a unit that raises (default 1)")
+    c_run.add_argument("--transport-retries", type=int, default=None,
+                       dest="transport_retries", metavar="N",
+                       help="override the transport retransmission budget "
+                       "(default: the transport's own default; raise to "
+                       "push the bounded-retry envelope)")
+    c_run.add_argument("--fail-on-violation", action="store_true",
+                       dest="fail_on_violation",
+                       help="non-zero exit on any oracle violation or unit "
+                       "failure (the CI gate)")
+    c_run.set_defaults(func=_cmd_chaos_run)
+
+    c_shr = c_sub.add_parser(
+        "shrink", help="shrink one failing grid point to a minimal plan")
+    c_shr.add_argument("--scenario", required=True,
+                       help="scenario name (see repro.chaos.scenarios.SCENARIOS)")
+    c_shr.add_argument("--n", type=int, default=24, help="node count (default 24)")
+    c_shr.add_argument("--graph-seed", type=int, default=1, dest="graph_seed")
+    c_shr.add_argument("--seed", type=int, required=True, help="fault-plan seed")
+    c_shr.add_argument("--drop-rate", type=float, default=0.0, dest="drop_rate")
+    c_shr.add_argument("--duplicate-rate", type=float, default=0.0,
+                       dest="duplicate_rate")
+    c_shr.add_argument("--corrupt-rate", type=float, default=0.0,
+                       dest="corrupt_rate")
+    c_shr.add_argument("--no-transport", action="store_true", dest="no_transport",
+                       help="run the scenario without the reliable transport")
+    c_shr.add_argument("--max-entries", type=int, default=None, dest="max_entries",
+                       metavar="N",
+                       help="non-zero exit when the minimal plan needs more "
+                       "than N fault entries")
+    c_shr.set_defaults(func=_cmd_chaos_shrink)
+
+    c_rep = c_sub.add_parser("report", help="pretty-print a campaign artifact")
+    c_rep.add_argument("path", help="chaos_<name>.json artifact")
+    c_rep.set_defaults(func=_cmd_chaos_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -13,6 +13,7 @@ from .faults import (
     FailureReport,
     FaultPlan,
     LinkDown,
+    corrupt_payload,
     diagnose_run,
     run_fingerprint,
 )
@@ -29,6 +30,13 @@ from .network import (
     payload_words,
 )
 from .trace import RoundRecord, RoundTrace, read_jsonl
+from .transport import (
+    TRANSPORT_STATE_KEY,
+    NullTransport,
+    ReliableTransport,
+    TransportStats,
+    scale_rounds,
+)
 
 __all__ = [
     "CongestViolation",
@@ -44,6 +52,10 @@ __all__ = [
     "WeightsRun",
     "Network",
     "NodeContext",
+    "NullTransport",
+    "ReliableTransport",
+    "TransportStats",
+    "TRANSPORT_STATE_KEY",
     "RoundLedger",
     "RoundRecord",
     "RoundTrace",
@@ -58,6 +70,8 @@ __all__ = [
     "partwise_aggregation_run",
     "partwise_broadcast_run",
     "payload_words",
+    "corrupt_payload",
+    "scale_rounds",
     "read_jsonl",
     "resilient_broadcast_run",
     "resilient_convergecast_run",

@@ -26,6 +26,7 @@ from ..obs import MetricsRegistry, trace_span
 from .faults import FailureReport, FaultPlan, diagnose_run
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
+from .transport import scale_rounds
 
 Node = Hashable
 
@@ -46,6 +47,7 @@ def bfs_run(
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport=None,
 ) -> RunResult:
     """Distributed BFS from ``root``.
 
@@ -82,8 +84,10 @@ def bfs_run(
 
     with trace_span(trace, "bfs", root=repr(root)):
         return Network(graph).run(
-            init, on_round, max_rounds=4 * len(graph) + 16, trace=trace,
-            scheduler=scheduler, faults=faults, metrics=metrics,
+            init, on_round,
+            max_rounds=scale_rounds(transport, 4 * len(graph) + 16),
+            trace=trace, scheduler=scheduler, faults=faults,
+            metrics=metrics, transport=transport,
         )
 
 
@@ -96,6 +100,7 @@ def broadcast_run(
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport=None,
 ) -> RunResult:
     """Downcast ``value`` from ``root`` along a known spanning tree.
 
@@ -132,8 +137,10 @@ def broadcast_run(
 
     with trace_span(trace, "broadcast", root=repr(root)):
         return Network(graph).run(
-            init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
-            scheduler=scheduler, faults=faults, metrics=metrics,
+            init, on_round,
+            max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
+            trace=trace, scheduler=scheduler, faults=faults,
+            metrics=metrics, transport=transport,
         )
 
 
@@ -147,6 +154,7 @@ def convergecast_run(
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport=None,
 ) -> RunResult:
     """Aggregate ``values`` up a known spanning tree (sum by default).
 
@@ -177,8 +185,10 @@ def convergecast_run(
 
     with trace_span(trace, "convergecast", root=repr(root)):
         return Network(graph).run(
-            init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
-            scheduler=scheduler, faults=faults, metrics=metrics,
+            init, on_round,
+            max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
+            trace=trace, scheduler=scheduler, faults=faults,
+            metrics=metrics, transport=transport,
         )
 
 

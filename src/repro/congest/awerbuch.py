@@ -21,6 +21,7 @@ from ..obs import MetricsRegistry, trace_span
 from .faults import FailureReport, FaultPlan, diagnose_run
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
+from .transport import scale_rounds
 
 Node = Hashable
 
@@ -39,6 +40,7 @@ def awerbuch_dfs_run(
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport=None,
 ) -> RunResult:
     """Run Awerbuch's DFS; each node outputs ``(parent, depth)``."""
 
@@ -50,6 +52,7 @@ def awerbuch_dfs_run(
             neighbors_visited=set(),
             has_token=ctx.node == root,
             pending_notify=ctx.node == root,
+            waiting_on=None,
             done=False,
         )
 
@@ -62,29 +65,44 @@ def awerbuch_dfs_run(
     def on_round(ctx: NodeContext, inbox: Dict[Node, Any]) -> Optional[Dict[Node, Any]]:
         state = ctx.state
         sends: Dict[Node, Any] = {}
-        token_arrived = False
         for sender, payload in inbox.items():
             kind = payload[0]
             if kind == _VISITED:
                 state["neighbors_visited"].add(sender)
+                if sender == state["waiting_on"] and payload[1] != ctx.node:
+                    # Delay race (only reachable under faults/transport):
+                    # the child we forwarded the token to was visited by
+                    # someone else first — its notify, naming another
+                    # parent, was still in flight when we forwarded.  The
+                    # child drops our token (it may even have halted
+                    # already), so reclaim it from the notify instead of
+                    # waiting for a return that can never come.
+                    state["waiting_on"] = None
+                    state["has_token"] = True
             elif kind == _TOKEN:
-                token_arrived = True
                 if not state["visited"]:
                     state["visited"] = True
                     state["parent"] = sender
                     state["depth"] = payload[1] + 1
                     state["pending_notify"] = True
-                state["has_token"] = True
+                    state["has_token"] = True
+                # else: a late or duplicated token to a visited node is
+                # dropped; our own notify (already in flight, naming our
+                # real parent) tells the sender to reclaim it.
             elif kind == _RETURN:
                 state["has_token"] = True
+                if sender == state["waiting_on"]:
+                    state["waiting_on"] = None
 
         if state["pending_notify"]:
-            # Notification round: tell everyone we are visited; hold the
-            # token for one round so neighbors mark us before it moves.
+            # Notification round: tell everyone we are visited (naming
+            # our parent, so a racing token-holder can tell a notify it
+            # caused from one it lost to); hold the token for one round
+            # so neighbors mark us before it moves.
             state["pending_notify"] = False
             ctx.wake()  # still holding the token: forward it next round
             for u in ctx.neighbors:
-                sends[u] = (_VISITED,)
+                sends[u] = (_VISITED, state["parent"])
             return sends
 
         if state["has_token"]:
@@ -92,6 +110,7 @@ def awerbuch_dfs_run(
             child = _next_child(ctx)
             if child is not None:
                 state["neighbors_visited"].add(child)
+                state["waiting_on"] = child
                 sends[child] = (_TOKEN, state["depth"])
             elif state["parent"] is not None:
                 sends[ctx.state["parent"]] = (_RETURN,)
@@ -108,8 +127,10 @@ def awerbuch_dfs_run(
     network = Network(graph)
     with trace_span(trace, "awerbuch-dfs", root=repr(root)):
         result = network.run(
-            init, on_round, max_rounds=6 * len(graph) + 16, finalize=_finalize,
-            trace=trace, scheduler=scheduler, faults=faults, metrics=metrics,
+            init, on_round,
+            max_rounds=scale_rounds(transport, 6 * len(graph) + 16),
+            finalize=_finalize, trace=trace, scheduler=scheduler,
+            faults=faults, metrics=metrics, transport=transport,
         )
     return result
 
@@ -134,6 +155,7 @@ def resilient_dfs_run(
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport=None,
 ) -> Tuple[RunResult, Optional[FailureReport]]:
     """Awerbuch's DFS under faults, with graceful abort instead of a hang.
 
@@ -159,7 +181,7 @@ def resilient_dfs_run(
     with trace_span(trace, "resilient-dfs", root=repr(root)):
         result = awerbuch_dfs_run(
             graph, root, trace=trace, scheduler=scheduler, faults=faults,
-            metrics=metrics,
+            metrics=metrics, transport=transport,
         )
     report = diagnose_run(result, kind="dfs", require_outputs=False)
     if report is not None:

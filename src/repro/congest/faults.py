@@ -20,6 +20,14 @@ Fault semantics (see docs/MODEL.md, "The fault model"):
 * **duplicate** — the message is delivered normally *and* an extra copy
   arrives one round later (a stutter duplicate, the classic at-least-once
   network artifact).
+* **corrupt** — the message is delivered, but its payload is mangled in
+  flight by a deterministic, type-preserving bit-flip keyed on
+  ``(seed, src, dst, round)`` (see :func:`corrupt_payload`).  Corruption
+  is applied after the drop decision (a dropped message is never also
+  corrupted) and before duplication (a stutter copy carries the corrupted
+  payload).  Without a transport the corrupted payload reaches the node
+  program; with :class:`repro.congest.transport.ReliableTransport` the
+  checksum catches it and the frame is retransmitted.
 * **link down-interval** — an undirected edge loses every message, in both
   directions, for a closed round interval.
 * **crash-stop** — a node executes rounds ``< r`` and is then silent
@@ -47,6 +55,7 @@ __all__ = [
     "LinkDown",
     "FaultPlan",
     "FailureReport",
+    "corrupt_payload",
     "diagnose_run",
     "run_fingerprint",
 ]
@@ -91,6 +100,75 @@ def _coin(seed: int, kind: str, src: Node, dst: Node, rnd: int) -> float:
     return int.from_bytes(digest, "big") / float(1 << 64)
 
 
+def _mangle(value: Any, salt: int) -> Any:
+    """Type-preserving single-bit corruption of one payload value.
+
+    The corruption never *grows* the payload's CONGEST word cost: integers
+    flip one bit at or below their own bit length, strings/bytes flip the
+    low bit of one character, containers mangle one element in place.
+    ``None`` and unknown types pass through unchanged (nothing to flip).
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        bits = max(1, value.bit_length())
+        return value ^ (1 << (salt % bits))
+    if isinstance(value, float):
+        return -value if value != 0.0 else 1.0
+    if isinstance(value, str):
+        if not value:
+            return value
+        i = salt % len(value)
+        return value[:i] + chr(ord(value[i]) ^ 1) + value[i + 1:]
+    if isinstance(value, bytes):
+        if not value:
+            return value
+        i = salt % len(value)
+        return value[:i] + bytes((value[i] ^ 1,)) + value[i + 1:]
+    if isinstance(value, tuple):
+        if not value:
+            return value
+        i = salt % len(value)
+        return value[:i] + (_mangle(value[i], salt >> 3),) + value[i + 1:]
+    if isinstance(value, list):
+        if not value:
+            return value
+        i = salt % len(value)
+        return value[:i] + [_mangle(value[i], salt >> 3)] + value[i + 1:]
+    if isinstance(value, dict):
+        if not value:
+            return value
+        keys = sorted(value, key=repr)
+        k = keys[salt % len(keys)]
+        out = dict(value)
+        out[k] = _mangle(value[k], salt >> 3)
+        return out
+    if isinstance(value, (set, frozenset)):
+        if not value:
+            return value
+        elems = sorted(value, key=repr)
+        e = elems[salt % len(elems)]
+        out = set(value)
+        out.discard(e)
+        out.add(_mangle(e, salt >> 3))
+        return frozenset(out) if isinstance(value, frozenset) else out
+    return value
+
+
+def corrupt_payload(payload: Any, seed: int, src: Node, dst: Node, rnd: int) -> Any:
+    """Deterministically mangled copy of ``payload`` for a corrupt fault.
+
+    The flipped bit is a pure function of ``(seed, src, dst, round)`` —
+    the same message identity the fault coins key on — so a corruption
+    replays bit-identically across schedulers and reruns.  The result may
+    equal the input (e.g. an empty tuple has nothing to flip); the network
+    only counts a corruption when the delivered payload actually changed.
+    """
+    key = f"{seed}|mangle|{src!r}|{dst!r}|{rnd}".encode()
+    salt = int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+    return _mangle(payload, salt)
+
+
 class FaultPlan:
     """A deterministic fault schedule for one simulated run.
 
@@ -98,10 +176,10 @@ class FaultPlan:
     ----------
     seed:
         The single seed every rate-based coin derives from.
-    drop_rate / duplicate_rate:
+    drop_rate / duplicate_rate / corrupt_rate:
         Per-(directed edge, round) probabilities, decided by
         :func:`_coin` — replayable, scheduler-independent.
-    drops / duplicates:
+    drops / duplicates / corruptions:
         Explicit schedules: iterables of ``(src, dst, round)`` directed
         entries that fire regardless of the rates.
     crashes:
@@ -116,8 +194,10 @@ class FaultPlan:
         *,
         drop_rate: float = 0.0,
         duplicate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
         drops: Iterable[Tuple[Node, Node, int]] = (),
         duplicates: Iterable[Tuple[Node, Node, int]] = (),
+        corruptions: Iterable[Tuple[Node, Node, int]] = (),
         crashes: Iterable = (),
         link_downs: Iterable = (),
     ):
@@ -125,14 +205,20 @@ class FaultPlan:
             raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
         if not 0.0 <= duplicate_rate <= 1.0:
             raise ValueError(f"duplicate_rate must be in [0, 1], got {duplicate_rate}")
+        if not 0.0 <= corrupt_rate <= 1.0:
+            raise ValueError(f"corrupt_rate must be in [0, 1], got {corrupt_rate}")
         self.seed = seed
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate
+        self.corrupt_rate = corrupt_rate
         self.drops: FrozenSet[Tuple[Node, Node, int]] = frozenset(
             (s, d, r) for s, d, r in drops
         )
         self.duplicates: FrozenSet[Tuple[Node, Node, int]] = frozenset(
             (s, d, r) for s, d, r in duplicates
+        )
+        self.corruptions: FrozenSet[Tuple[Node, Node, int]] = frozenset(
+            (s, d, r) for s, d, r in corruptions
         )
         self.crashes: Tuple[CrashFault, ...] = tuple(
             c if isinstance(c, CrashFault) else CrashFault(*c) for c in crashes
@@ -159,8 +245,10 @@ class FaultPlan:
         return (
             self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
+            and self.corrupt_rate == 0.0
             and not self.drops
             and not self.duplicates
+            and not self.corruptions
             and not self.crashes
             and not self.link_downs
         )
@@ -188,26 +276,55 @@ class FaultPlan:
             return 2
         return 1
 
+    def mangles(self, src: Node, dst: Node, rnd: int) -> bool:
+        """Whether the message ``src -> dst`` sent in round ``rnd`` is
+        corrupted in flight (explicit schedule first, then the coin)."""
+        if (src, dst, rnd) in self.corruptions:
+            return True
+        if self.corrupt_rate and _coin(
+            self.seed, "corrupt", src, dst, rnd
+        ) < self.corrupt_rate:
+            return True
+        return False
+
+    def mangle(self, src: Node, dst: Node, rnd: int, payload: Any) -> Any:
+        """The payload actually delivered for this message: mangled via
+        :func:`corrupt_payload` when the corrupt fault fires, else the
+        original object unchanged."""
+        if self.mangles(src, dst, rnd):
+            return corrupt_payload(payload, self.seed, src, dst, rnd)
+        return payload
+
     def describe(self) -> Dict[str, Any]:
         """JSON-friendly account of the plan (for artifacts and reports)."""
         return {
             "seed": self.seed,
             "drop_rate": self.drop_rate,
             "duplicate_rate": self.duplicate_rate,
+            "corrupt_rate": self.corrupt_rate,
             "drops": sorted(map(repr, self.drops)),
             "duplicates": sorted(map(repr, self.duplicates)),
+            "corruptions": sorted(map(repr, self.corruptions)),
             "crashes": sorted(
                 (repr(c.node), c.round) for c in self.crashes
             ),
             "link_downs": sorted(
                 (repr(l.u), repr(l.v), l.start, l.end) for l in self.link_downs
             ),
+            "counts": {
+                "drops": len(self.drops),
+                "duplicates": len(self.duplicates),
+                "corruptions": len(self.corruptions),
+                "crashes": len(self.crashes),
+                "link_downs": len(self.link_downs),
+            },
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"FaultPlan(seed={self.seed}, drop_rate={self.drop_rate}, "
-            f"duplicate_rate={self.duplicate_rate}, crashes={len(self.crashes)}, "
+            f"duplicate_rate={self.duplicate_rate}, "
+            f"corrupt_rate={self.corrupt_rate}, crashes={len(self.crashes)}, "
             f"link_downs={len(self.link_downs)})"
         )
 
@@ -235,6 +352,11 @@ class FailureReport:
     missing: Tuple[Node, ...] = ()
     detail: str = ""
     partial_outputs: Dict[Node, Any] = field(default_factory=dict)
+    # Per-kind fault counters observed by the run (lost/duplicated/
+    # corrupted/... plus transport recovery stats when a transport ran).
+    counters: Dict[str, int] = field(default_factory=dict)
+    # Directed edges whose transport gave up redelivering: (src, dst, seq).
+    unrecovered: Tuple[Tuple[Node, Node, int], ...] = ()
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -246,6 +368,10 @@ class FailureReport:
             "suspected": sorted(map(repr, self.suspected)),
             "missing": sorted(map(repr, self.missing)),
             "detail": self.detail,
+            "counters": dict(self.counters),
+            "unrecovered": sorted(
+                (repr(s), repr(d), seq) for s, d, seq in self.unrecovered
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -265,25 +391,70 @@ def diagnose_run(
     :class:`FailureReport`, or ``None`` when the run completed cleanly.
 
     A run is diagnosed as failed when it ended by ``deadlock`` or
-    ``max_rounds`` (work remained that can never finish), or — with
+    ``max_rounds`` (work remained that can never finish), when the
+    transport layer gave up redelivering on some edge (corruption or loss
+    detected but not recovered within the retry budget — the delivery
+    contract is broken even if every node happened to halt), or — with
     ``require_outputs`` — when any surviving node recorded no output (the
     protocol left someone behind).  Crashed nodes are expected to be
     output-less and are never counted as missing.
     """
     crashed = tuple(result.crashed)
     crashed_set = set(crashed)
+    counters = {
+        "dropped": result.dropped_messages,
+        "lost": result.lost_messages,
+        "duplicated": result.duplicated_messages,
+        "corrupted": getattr(result, "corrupted_messages", 0),
+    }
+    stats = getattr(result, "transport", None)
+    unrecovered: Tuple[Tuple[Node, Node, int], ...] = ()
+    if stats is not None:
+        counters["retransmits"] = stats.retransmits
+        counters["corruptions_detected"] = stats.corruptions_detected
+        counters["duplicates_suppressed"] = stats.duplicates_suppressed
+        unrecovered = tuple(stats.unrecovered)
     if result.stop_reason in ("deadlock", "max_rounds"):
+        detail = (
+            f"run ended by {result.stop_reason} after {result.rounds} rounds "
+            f"with {result.lost_messages} lost message(s)"
+        )
+        if unrecovered:
+            edges = ", ".join(
+                f"{s!r}->{d!r} (seq {seq})" for s, d, seq in unrecovered[:4]
+            )
+            detail += (
+                f"; transport gave up on {len(unrecovered)} "
+                f"delivery(ies): {edges}"
+            )
         return FailureReport(
             kind=kind,
             reason=result.stop_reason,
             rounds=result.rounds,
             stop_reason=result.stop_reason,
             crashed=crashed,
+            detail=detail,
+            partial_outputs=dict(result.outputs),
+            counters=counters,
+            unrecovered=unrecovered,
+        )
+    if unrecovered:
+        edges = ", ".join(
+            f"{s!r}->{d!r} (seq {seq})" for s, d, seq in unrecovered[:4]
+        )
+        return FailureReport(
+            kind=kind,
+            reason="unrecovered-delivery",
+            rounds=result.rounds,
+            stop_reason=result.stop_reason,
+            crashed=crashed,
             detail=(
-                f"run ended by {result.stop_reason} after {result.rounds} rounds "
-                f"with {result.lost_messages} lost message(s)"
+                f"transport detected but could not recover "
+                f"{len(unrecovered)} delivery(ies): {edges}"
             ),
             partial_outputs=dict(result.outputs),
+            counters=counters,
+            unrecovered=unrecovered,
         )
     if require_outputs:
         missing = tuple(
@@ -302,6 +473,7 @@ def diagnose_run(
                 missing=missing,
                 detail=f"{len(missing)} surviving node(s) recorded no output",
                 partial_outputs=dict(result.outputs),
+                counters=counters,
             )
     return None
 
@@ -309,10 +481,11 @@ def diagnose_run(
 # -- replay fingerprints -----------------------------------------------------
 
 
-def run_fingerprint(result, trace=None) -> str:
+def run_fingerprint(result, trace=None, transport=None) -> str:
     """Canonical hash of everything a fault replay must reproduce.
 
-    Covers the :class:`RunResult` (rounds, stop reason, message/loss
+    **Physical mode** (``transport=None``): covers the
+    :class:`RunResult` (rounds, stop reason, message/loss/corruption
     counters, outputs, crashed set) and, when a trace is given, the
     per-round delivered-message record and the per-edge word histograms.
     The trace's ``active`` field is deliberately *excluded*: the dispatch
@@ -320,11 +493,44 @@ def run_fingerprint(result, trace=None) -> str:
     ``dense`` by design (a dense round dispatches every live node); the
     fault contract is about what the network *delivered*, which must be
     identical.
+
+    **Logical mode** (``transport=`` a
+    :class:`repro.congest.transport.TransportStats`): hashes the run as
+    the *node programs* saw it — outputs, crashed set, the number of
+    protocol-level sends and the per-directed-edge in-order delivery
+    digests, plus any deliveries the transport gave up on.  All physical
+    bookkeeping (rounds, frames, ACK traffic, retransmit counts,
+    corruption detections) is excluded, so on a clean network a run
+    with :class:`~repro.congest.transport.ReliableTransport` fingerprints
+    identically to one with
+    :class:`~repro.congest.transport.NullTransport` — and a faulted run
+    that the transport *fully* recovered fingerprints identically to a
+    clean run.
     """
     digest = hashlib.sha256()
 
     def feed(tag: str, value: Any) -> None:
         digest.update(f"{tag}={value!r};".encode())
+
+    if transport is not None:
+        feed("crashed", sorted(map(repr, result.crashed)))
+        feed(
+            "outputs",
+            sorted((repr(v), repr(out)) for v, out in result.outputs.items()),
+        )
+        feed("inner_sends", transport.inner_sends)
+        feed(
+            "delivered",
+            sorted(
+                (repr(src), repr(dst), count, digest_hex)
+                for (src, dst), (count, digest_hex) in transport.delivery_log()
+            ),
+        )
+        feed(
+            "unrecovered",
+            sorted((repr(s), repr(d), seq) for s, d, seq in transport.unrecovered),
+        )
+        return digest.hexdigest()
 
     feed("rounds", result.rounds)
     feed("stop", result.stop_reason)
@@ -332,6 +538,7 @@ def run_fingerprint(result, trace=None) -> str:
     feed("dropped", result.dropped_messages)
     feed("lost", result.lost_messages)
     feed("duplicated", result.duplicated_messages)
+    feed("corrupted", getattr(result, "corrupted_messages", 0))
     feed("max_words", result.max_words)
     feed("crashed", sorted(map(repr, result.crashed)))
     feed(
@@ -350,6 +557,7 @@ def run_fingerprint(result, trace=None) -> str:
                     rec.dropped,
                     rec.lost,
                     rec.duplicated,
+                    rec.corrupted,
                     rec.max_words,
                 ),
             )

@@ -30,6 +30,7 @@ from ..obs import trace_span
 from ..trees.rooted import RootedTree
 from .network import Network, NodeContext
 from .trace import RoundTrace
+from .transport import scale_rounds
 
 Node = Hashable
 
@@ -79,6 +80,7 @@ def _flood_fragment_ids(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> int:
     """Flood new fragment ids from the re-pointed roots; returns rounds.
 
@@ -116,13 +118,14 @@ def _flood_fragment_ids(
     result = Network(graph).run(
         init,
         on_round,
-        max_rounds=2 * len(graph) + 8,
+        max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
         finalize=lambda ctx: ctx.state["frag"],
         stop_when_quiet=True,
         trace=trace,
         scheduler=scheduler,
         faults=faults,
         metrics=metrics,
+        transport=transport,
     )
     for v, frag in result.outputs.items():
         fragment[v] = frag
@@ -137,6 +140,7 @@ def fragment_merge_run(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> FragmentRun | MarkPathMergeRun:
     """Run the odd-depth merge dynamic; optionally stop at a coalescence.
 
@@ -180,6 +184,7 @@ def fragment_merge_run(
                 rounds += _flood_fragment_ids(
                     graph, tree, fragment, updates, trace=trace,
                     scheduler=scheduler, faults=faults, metrics=metrics,
+                    transport=transport,
                 )
             if stop is not None and fragment[stop[0]] == fragment[stop[1]]:
                 # The merge edge: the first path edge whose endpoints were in
@@ -206,11 +211,12 @@ def mark_path_merge_run(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> MarkPathMergeRun:
     """Lemma 13's first phase: merge until ``u`` and ``v`` coalesce."""
     run = fragment_merge_run(
         graph, tree, stop=(u, v), trace=trace, scheduler=scheduler,
-        faults=faults, metrics=metrics,
+        faults=faults, metrics=metrics, transport=transport,
     )
     assert isinstance(run, MarkPathMergeRun)
     return run

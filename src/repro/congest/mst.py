@@ -32,6 +32,7 @@ import networkx as nx
 from ..obs import trace_span
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
+from .transport import scale_rounds
 
 Node = Hashable
 EdgeKey = Tuple[float, str, str]
@@ -73,6 +74,7 @@ def _flood_leaders(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> Tuple[Dict[Node, Node], int]:
     """Pass 1: flood the (repr-) smallest member along fragment edges."""
 
@@ -98,13 +100,14 @@ def _flood_leaders(
     result = Network(graph).run(
         init,
         on_round,
-        max_rounds=2 * len(graph) + 8,
+        max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
         finalize=lambda ctx: ctx.state["leader"],
         stop_when_quiet=True,
         trace=trace,
         scheduler=scheduler,
         faults=faults,
         metrics=metrics,
+        transport=transport,
     )
     return dict(result.outputs), result.rounds
 
@@ -117,6 +120,7 @@ def _exchange_and_moe(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> Tuple[Dict[Node, Optional[Tuple[EdgeKey, Node, Node]]], int]:
     """Passes 2+3: learn neighbor fragments, convergecast the MOE.
 
@@ -177,8 +181,9 @@ def _exchange_and_moe(
         return None
 
     result = Network(graph, max_words=8).run(
-        init, on_round, max_rounds=2 * len(graph) + 8, trace=trace,
-        scheduler=scheduler, faults=faults, metrics=metrics,
+        init, on_round, max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
+        trace=trace, scheduler=scheduler, faults=faults, metrics=metrics,
+        transport=transport,
     )
     moes = {
         v: result.outputs[v] for v in graph.nodes if leader[v] == v
@@ -192,6 +197,7 @@ def boruvka_mst_run(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> MSTRun:
     """Run message-level Borůvka to completion.
 
@@ -210,7 +216,7 @@ def boruvka_mst_run(
             with trace_span(trace, "leader-flood", phase=phases + 1):
                 leader, flood_rounds = _flood_leaders(
                     graph, fragment_edges, trace=trace, scheduler=scheduler,
-                    faults=faults, metrics=metrics,
+                    faults=faults, metrics=metrics, transport=transport,
                 )
             rounds += flood_rounds
             if len(set(leader.values())) == 1:
@@ -219,6 +225,7 @@ def boruvka_mst_run(
                 moes, moe_rounds = _exchange_and_moe(
                     graph, leader, fragment_edges, trace=trace,
                     scheduler=scheduler, faults=faults, metrics=metrics,
+                    transport=transport,
                 )
             rounds += moe_rounds
             phases += 1

@@ -227,8 +227,14 @@ class RunResult:
         down-interval, or a crashed receiver) — the sender paid for them.
     duplicated_messages:
         Extra stutter copies an injected duplication fault delivered.
+    corrupted_messages:
+        Messages whose payload an injected corruption fault mangled in
+        flight (still delivered — just wrong).
     crashed:
         Nodes removed by crash-stop faults, sorted by repr.
+    transport:
+        The :class:`repro.congest.transport.TransportStats` of the run's
+        transport session, or ``None`` when no transport was used.
     """
 
     __slots__ = (
@@ -240,7 +246,9 @@ class RunResult:
         "dropped_messages",
         "lost_messages",
         "duplicated_messages",
+        "corrupted_messages",
         "crashed",
+        "transport",
     )
 
     def __init__(
@@ -254,6 +262,8 @@ class RunResult:
         lost_messages: int = 0,
         duplicated_messages: int = 0,
         crashed: Tuple[Node, ...] = (),
+        corrupted_messages: int = 0,
+        transport: Any = None,
     ):
         self.rounds = rounds
         self.outputs = outputs
@@ -263,7 +273,9 @@ class RunResult:
         self.dropped_messages = dropped_messages
         self.lost_messages = lost_messages
         self.duplicated_messages = duplicated_messages
+        self.corrupted_messages = corrupted_messages
         self.crashed = crashed
+        self.transport = transport
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -330,6 +342,7 @@ class Network:
         scheduler: str = "active",
         faults: Optional["FaultPlan"] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        transport: Any = None,
     ) -> RunResult:
         """Execute a node program on every node synchronously.
 
@@ -358,10 +371,24 @@ class Network:
         scheduler queue depth, alongside round/message/word/fault totals.
         The registry only *reads* scheduler state, so a metered run is
         bit-identical to an unmetered one (docs/OBSERVABILITY.md).
+
+        ``transport`` (``None``, a
+        :class:`repro.congest.transport.NullTransport` or a
+        :class:`repro.congest.transport.ReliableTransport`) wraps the
+        node program in a reliable-delivery session: payloads ride in
+        checksummed, sequence-numbered frames, lost or corrupted frames
+        are retransmitted, duplicates suppressed.  The per-message word
+        budget is raised by the session's frame overhead, and the
+        session's :class:`~repro.congest.transport.TransportStats` is
+        attached as ``RunResult.transport``.
         """
         if scheduler not in ("active", "dense"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
         dense = scheduler == "dense"
+        session = None
+        if transport is not None:
+            session = transport.session(self, metrics=metrics)
+            init, on_round = session.wrap(init, on_round)
         nodes = self.nodes
         n = len(nodes)
         index = self.index
@@ -378,6 +405,7 @@ class Network:
         # delivery hook (None when the plan cannot affect deliveries).
         crash_round_ix: Dict[int, int] = {}
         fault_delivery = None
+        fault_mangle = None
         if faults is not None:
             for node, crash_rnd in faults.crash_round.items():
                 i = index.get(node)
@@ -392,6 +420,10 @@ class Network:
                 or faults.link_downs
             ):
                 fault_delivery = faults.copies
+            if getattr(faults, "corrupt_rate", 0.0) or getattr(
+                faults, "corruptions", ()
+            ):
+                fault_mangle = faults.mangle
         crash_by_round: Dict[int, List[int]] = {}
         for i, crash_rnd in crash_round_ix.items():
             crash_by_round.setdefault(crash_rnd, []).append(i)
@@ -423,6 +455,9 @@ class Network:
             m_dup = metrics.counter(
                 "congest_duplicated_messages_total",
                 "Extra stutter copies delivered by injected faults")
+            m_corrupt = metrics.counter(
+                "congest_corrupted_messages_total",
+                "Messages mangled in flight by injected faults")
             m_round_wall = metrics.histogram(
                 "congest_round_wall_seconds",
                 "Wall-clock of the per-round handler dispatch loop")
@@ -438,12 +473,16 @@ class Network:
                 labels=("node",))
         counting = trace is not None or metrics is not None
         word_bits = self.word_bits
-        budget = self.max_words
+        # The transport's frame fields (flags/seq/ack/checksum) ride on
+        # top of the inner payload; the budget grows by exactly that
+        # overhead so the inner program's own budget is unchanged.
+        budget = self.max_words + (session.extra_words if session else 0)
         rounds = 0
         messages = 0
         dropped_total = 0
         lost_total = 0
         dup_total = 0
+        corrupted_total = 0
         max_words_seen = 0
         sent_last_round = True
         warned_drop = False
@@ -453,8 +492,23 @@ class Network:
                 stop_reason = "halted"
                 break
             if stop_when_quiet and rounds > 0 and not sent_last_round:
-                stop_reason = "quiet"
-                break
+                # A silent round is only genuinely quiet when no node has
+                # armed a wake for this round (e.g. a transport
+                # retransmission timer counting down through silence) and
+                # no stutter duplicate is still scheduled to arrive.  The
+                # active scheduler folds wakes into ``active``; dense mode
+                # dispatches everyone regardless, so inspect the flags.
+                woken = (
+                    any(
+                        c._wake and not c.halted and not crashed[i]
+                        for i, c in enumerate(contexts)
+                    )
+                    if dense
+                    else bool(active)
+                )
+                if not woken and not pending_dups:
+                    stop_reason = "quiet"
+                    break
             if not dense and not active and not pending_dups:
                 # Nothing has mail and nothing asked to be woken: no future
                 # round can differ.  The dense dispatch would spin silently
@@ -548,6 +602,7 @@ class Network:
             dropped = 0
             lost = 0
             duplicated = 0
+            corrupted = 0
             arrival = rounds + 1
             # Stutter duplicates scheduled two rounds ago arrive in this
             # delivery phase, before fresh sends, so a fresh message from
@@ -583,6 +638,16 @@ class Network:
                 if copies == 0:
                     lost += 1
                     continue
+                if fault_mangle is not None:
+                    # Corruption happens after the drop decision (a lost
+                    # message is never also corrupted) and before
+                    # duplication, so a stutter copy carries the same
+                    # mangled payload.  Counted only when the payload
+                    # actually changed.
+                    mangled = fault_mangle(src, nodes[t], rounds, payload)
+                    if mangled is not payload and mangled != payload:
+                        payload = mangled
+                        corrupted += 1
                 if copies > 1:
                     pending_dups.setdefault(arrival + 1, []).append(
                         (src, t, payload)
@@ -601,6 +666,7 @@ class Network:
                     )
             lost_total += lost
             dup_total += duplicated
+            corrupted_total += corrupted
             if not dense:
                 for i in schedule:
                     ctx = contexts[i]
@@ -619,6 +685,8 @@ class Network:
                     m_lost.inc(lost)
                 if duplicated:
                     m_dup.inc(duplicated)
+                if corrupted:
+                    m_corrupt.inc(corrupted)
                 m_queue.set(len(schedule))
                 m_queue_peak.set_max(len(schedule))
                 for i in schedule:
@@ -634,6 +702,7 @@ class Network:
                     round_max_words,
                     lost=lost,
                     duplicated=duplicated,
+                    corrupted=corrupted,
                 )
         outputs: Dict[Node, Any] = {}
         for i, ctx in enumerate(contexts):
@@ -654,4 +723,6 @@ class Network:
             lost_total,
             dup_total,
             tuple(sorted((nodes[i] for i in range(n) if crashed[i]), key=repr)),
+            corrupted_messages=corrupted_total,
+            transport=session.stats if session is not None else None,
         )

@@ -38,6 +38,7 @@ from ..trees.rooted import RootedTree
 from ..trees.spanning import bfs_tree
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
+from .transport import scale_rounds
 
 Node = Hashable
 
@@ -76,6 +77,7 @@ def partwise_aggregation_run(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> PartwiseRun:
     """Aggregate every part's values at the BFS root, at message level."""
     if tree is None:
@@ -154,12 +156,13 @@ def partwise_aggregation_run(
         result = Network(graph).run(
             init,
             on_round,
-            max_rounds=8 * len(graph) + len(parts) + 32,
+            max_rounds=scale_rounds(transport, 8 * len(graph) + len(parts) + 32),
             stop_when_quiet=True,
             trace=trace,
             scheduler=scheduler,
             faults=faults,
             metrics=metrics,
+            transport=transport,
         )
     root_out = result.outputs.get(root)
     if root_out is None:  # pragma: no cover - root halted without output
@@ -182,6 +185,7 @@ def partwise_broadcast_run(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> PartwiseRun:
     """The downcast half of Prop. 4: deliver each part's value to all its
     members over the shortcut edges, pipelined one (part, value) pair per
@@ -253,13 +257,14 @@ def partwise_broadcast_run(
         result = Network(graph).run(
             init,
             on_round,
-            max_rounds=8 * len(graph) + len(parts) + 32,
+            max_rounds=scale_rounds(transport, 8 * len(graph) + len(parts) + 32),
             finalize=lambda ctx: dict(ctx.state["received"]),
             stop_when_quiet=True,
             trace=trace,
             scheduler=scheduler,
             faults=faults,
             metrics=metrics,
+            transport=transport,
         )
     received: Dict[int, int] = {}
     for i, part in enumerate(parts):

@@ -73,6 +73,9 @@ class RoundRecord:
     duplicated:
         Extra stutter copies delivered this round by an injected
         duplication fault.
+    corrupted:
+        Messages whose payload was mangled in flight this round by an
+        injected corruption fault (delivered, but changed).
     span:
         Id of the innermost open :class:`repro.obs.tracing.Span` when the
         round was recorded, or ``None`` when no tracer was attached / no
@@ -90,6 +93,7 @@ class RoundRecord:
         "max_words",
         "lost",
         "duplicated",
+        "corrupted",
         "span",
     )
 
@@ -104,6 +108,7 @@ class RoundRecord:
         max_words: int,
         lost: int = 0,
         duplicated: int = 0,
+        corrupted: int = 0,
         span: Optional[int] = None,
     ):
         self.run = run
@@ -115,6 +120,7 @@ class RoundRecord:
         self.max_words = max_words
         self.lost = lost
         self.duplicated = duplicated
+        self.corrupted = corrupted
         self.span = span
 
     def as_dict(self) -> Dict[str, Any]:
@@ -129,6 +135,7 @@ class RoundRecord:
             "max_words": self.max_words,
             "lost": self.lost,
             "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
             "span": self.span,
         }
 
@@ -163,6 +170,7 @@ class RoundTrace:
         self.total_dropped = 0
         self.total_lost = 0
         self.total_duplicated = 0
+        self.total_corrupted = 0
         self.peak_active = 0
         self.runs = 0
         self._edge_histograms = edge_histograms
@@ -195,12 +203,14 @@ class RoundTrace:
         max_words: int,
         lost: int = 0,
         duplicated: int = 0,
+        corrupted: int = 0,
     ) -> None:
         span = self.tracer.current if self.tracer is not None else None
         self.records.append(
             RoundRecord(
                 run, rnd, active, messages, words, dropped, max_words,
-                lost, duplicated, span.id if span is not None else None,
+                lost, duplicated, corrupted,
+                span.id if span is not None else None,
             )
         )
         if span is not None:
@@ -215,6 +225,7 @@ class RoundTrace:
         self.total_dropped += dropped
         self.total_lost += lost
         self.total_duplicated += duplicated
+        self.total_corrupted += corrupted
         if active > self.peak_active:
             self.peak_active = active
 
@@ -236,6 +247,7 @@ class RoundTrace:
             "dropped": self.total_dropped,
             "lost": self.total_lost,
             "duplicated": self.total_duplicated,
+            "corrupted": self.total_corrupted,
             "peak_active": self.peak_active,
             "mean_active": mean_active,
             "max_words": self.max_words,

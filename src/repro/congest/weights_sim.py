@@ -41,6 +41,7 @@ from ..core.config import PlanarConfiguration
 from ..obs import trace_span
 from .network import Network, NodeContext, RunResult
 from .trace import RoundTrace
+from .transport import scale_rounds
 
 Node = Hashable
 Edge = Tuple[Node, Node]
@@ -75,6 +76,7 @@ def _size_convergecast(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> Tuple[Dict[Node, Dict[Node, int]], int]:
     """Pass 1: child subtree sizes, learned at each parent by messages."""
     tree = cfg.tree
@@ -96,8 +98,9 @@ def _size_convergecast(
         return None
 
     result = Network(cfg.graph).run(
-        init, on_round, max_rounds=2 * cfg.n + 8, trace=trace,
-        scheduler=scheduler, faults=faults, metrics=metrics,
+        init, on_round, max_rounds=scale_rounds(transport, 2 * cfg.n + 8),
+        trace=trace, scheduler=scheduler, faults=faults, metrics=metrics,
+        transport=transport,
     )
     return dict(result.outputs), result.rounds
 
@@ -109,6 +112,7 @@ def _order_downcast(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> Tuple[Dict[Node, Tuple[int, int, int]], int]:
     """Pass 2: assign (pi_l, pi_r, depth) top-down."""
     tree = cfg.tree
@@ -149,9 +153,11 @@ def _order_downcast(
         return sends
 
     result = Network(cfg.graph).run(
-        init, on_round, max_rounds=2 * cfg.n + 8, stop_when_quiet=True,
+        init, on_round, max_rounds=scale_rounds(transport, 2 * cfg.n + 8),
+        stop_when_quiet=True,
         finalize=lambda ctx: ctx.state["me"],
         trace=trace, scheduler=scheduler, faults=faults, metrics=metrics,
+        transport=transport,
     )
     return dict(result.outputs), result.rounds
 
@@ -162,6 +168,7 @@ def weights_problem_run(
     scheduler: str = "active",
     faults=None,
     metrics=None,
+    transport=None,
 ) -> WeightsRun:
     """Run the full message-level WEIGHTS-PROBLEM on one configuration."""
     tree = cfg.tree
@@ -169,12 +176,12 @@ def weights_problem_run(
         with trace_span(trace, "size-convergecast"):
             child_sizes, rounds1 = _size_convergecast(
                 cfg, trace=trace, scheduler=scheduler, faults=faults,
-                metrics=metrics,
+                metrics=metrics, transport=transport,
             )
         with trace_span(trace, "order-downcast"):
             orders, rounds2 = _order_downcast(
                 cfg, child_sizes, trace=trace, scheduler=scheduler,
-                faults=faults, metrics=metrics,
+                faults=faults, metrics=metrics, transport=transport,
             )
     pi_l = {v: orders[v][0] for v in cfg.graph.nodes}
     pi_r = {v: orders[v][1] for v in cfg.graph.nodes}

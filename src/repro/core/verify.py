@@ -24,6 +24,7 @@ __all__ = [
     "surviving_component",
     "check_broadcast_coverage",
     "check_component_dfs",
+    "check_mst",
     "SeparatorReport",
     "VerificationError",
 ]
@@ -128,6 +129,40 @@ def check_dfs_tree(graph: nx.Graph, parent: Dict[Node, Optional[Node]], root: No
                 "so this is not a DFS tree"
             )
     return tree
+
+
+def check_mst(graph: nx.Graph, edges: Iterable[Tuple[Node, Node]]) -> float:
+    """Assert that ``edges`` is a minimum spanning tree of ``graph``.
+
+    Checks the definition directly: every edge is a graph edge, the edge
+    set spans all nodes acyclically (``n - 1`` edges, connected), and the
+    total weight matches an independently computed MST weight (weights
+    default to 1, as in :mod:`repro.congest.mst`).  Returns the verified
+    total weight.
+    """
+    edge_list = list(edges)
+    for a, b in edge_list:
+        if not graph.has_edge(a, b):
+            raise VerificationError(f"MST edge {a!r}-{b!r} is not a graph edge")
+    n = len(graph)
+    if len(edge_list) != n - 1:
+        raise VerificationError(
+            f"not a spanning tree: {len(edge_list)} edges for n={n}"
+        )
+    tree = nx.Graph(edge_list)
+    tree.add_nodes_from(graph.nodes)
+    if not nx.is_connected(tree):
+        raise VerificationError("MST edge set is not connected")
+    total = sum(graph[a][b].get("weight", 1.0) for a, b in edge_list)
+    optimum = sum(
+        d.get("weight", 1.0)
+        for _, _, d in nx.minimum_spanning_tree(graph, weight="weight").edges(data=True)
+    )
+    if abs(total - optimum) > 1e-9:
+        raise VerificationError(
+            f"spanning tree weight {total} != minimum {optimum}"
+        )
+    return total
 
 
 def surviving_component(

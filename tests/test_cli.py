@@ -52,6 +52,54 @@ class TestInProcess:
         assert code == 0
 
 
+class TestChaosCommands:
+    def test_run_writes_artifacts_and_gates(self, capsys, tmp_path):
+        code = main([
+            "chaos", "run", "--campaign", "smoke", "--no-cache",
+            "--results-dir", str(tmp_path), "--fail-on-violation",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 violation(s)" in out
+        assert (tmp_path / "chaos_smoke.json").is_file()
+        assert "repro_chaos_" in (tmp_path / "metrics.prom").read_text()
+
+    def test_report_round_trips(self, capsys, tmp_path):
+        assert main([
+            "chaos", "run", "--campaign", "smoke", "--no-cache",
+            "--results-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        code = main(["chaos", "report", str(tmp_path / "chaos_smoke.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign 'smoke'" in out and "grid:" in out
+
+    def test_shrink_emits_a_stanza(self, capsys):
+        code = main([
+            "chaos", "shrink", "--scenario", "broadcast", "--n", "18",
+            "--seed", "3", "--duplicate-rate", "0.1",
+            "--corrupt-rate", "0.08", "--max-entries", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "def test_chaos_regression_broadcast_s3" in out
+        assert "FaultPlan(seed=3" in out
+
+    def test_shrink_of_a_passing_unit_fails_loudly(self, capsys):
+        code = main([
+            "chaos", "shrink", "--scenario", "dfs", "--n", "18",
+            "--seed", "3", "--drop-rate", "0.05",
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "does not fail" in err
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "run", "--campaign", "hurricane"])
+
+
 class TestSubprocess:
     def test_module_entrypoint(self):
         proc = subprocess.run(

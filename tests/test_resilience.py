@@ -212,6 +212,30 @@ class TestResilientConvergecast:
         # dead parent with its partial sum intact.
         assert result.outputs[crash + 1][0] == n - crash - 1
 
+    def test_duplicates_and_link_down_in_same_window(self):
+        # A link outage on an interior report edge and stutter duplicates
+        # firing through the same rounds: retransmission must repair the
+        # outage without the duplicated reports double-counting into the
+        # aggregate.  Both faults must actually fire for the test to mean
+        # anything, so the counters are asserted too.
+        n = 8
+        g = gen.path_graph(n)
+        values = {v: 1 for v in g.nodes}
+        plan = FaultPlan(
+            seed=5,
+            duplicate_rate=0.4,
+            link_downs=[(3, 2, 1, 6)],
+        )
+        result, report = resilient_convergecast_run(
+            g, 0, values, _chain_parent(n), child_timeout=30, faults=plan
+        )
+        assert report is None
+        assert result.outputs[0] == (n, ())  # exact sum: no double counting
+        assert result.lost_messages > 0  # the outage destroyed messages
+        assert result.duplicated_messages > 0  # and duplicates were delivered
+        # Nobody was suspected: the outage ended inside the retry budget.
+        assert all(out[1] == () for out in result.outputs.values())
+
     def test_deterministic_across_schedulers(self):
         n = 10
         g = gen.path_graph(n)

@@ -122,6 +122,20 @@ class TestInstanceCache:
         hit, value = cache.get("graph", ["delaunay", 90, 2])
         assert hit and value == [7]
 
+    def test_fault_and_transport_sources_are_fingerprinted(self):
+        # Campaign units are cached by content address: an edit to the
+        # simulator, the fault machinery, the transport, or the chaos
+        # harness itself must invalidate them.
+        for rel in (
+            "congest/network.py",
+            "congest/faults.py",
+            "congest/transport.py",
+            "congest/awerbuch.py",
+            "chaos/scenarios.py",
+            "chaos/campaign.py",
+        ):
+            assert rel in cache_mod._FINGERPRINTED_SOURCES
+
     def test_disabled_cache_never_hits(self, tmp_path):
         cache = cache_mod.InstanceCache(tmp_path, enabled=False)
         cache.put("diameter", ["grid", 100, 0], 18)
