@@ -5,10 +5,13 @@ user cares about: how long the embedding, configuration, weight sweep,
 separator and DFS take at a representative size.  Regressions here flag
 accidental quadratic behaviour in the face machinery.
 
-Also home of the CONGEST scheduler A/B: the active-set dispatch vs the
-legacy dense (every node, every round) dispatch on a sparse-activity
-workload — a single-source BFS wavefront on a long path, where at any
-moment only the frontier plus a small quiet-countdown window has work.
+Also home of the CONGEST scheduler A/B, in two tiers: the active-set
+dispatch vs the legacy dense (every node, every round) dispatch on a
+sparse-activity workload — a single-source BFS wavefront on a long path,
+where at any moment only the frontier plus a small quiet-countdown window
+has work — and, at the 10^5-node tier, the columnar vectorized dispatch
+vs the active-set scheduler on a square-grid wavefront (see
+docs/BENCHMARKS.md for the tier's runtime budget).
 """
 
 import time
@@ -93,6 +96,7 @@ def scheduler_speedup_rows(n: int = WAVE_N):
         rows.append(
             {
                 "scheduler": scheduler,
+                "workload": f"path-{n}",
                 "n": n,
                 "rounds": res.rounds,
                 "messages": res.messages_sent,
@@ -103,6 +107,80 @@ def scheduler_speedup_rows(n: int = WAVE_N):
     assert results["dense"].rounds == results["active"].rounds
     assert results["dense"].messages_sent == results["active"].messages_sent
     return rows
+
+
+# The 10^5-node tier.  A *square* grid, not a path: the vectorized
+# dispatch amortizes numpy's per-operation overhead over the wavefront
+# width, and a path's frontier is a single node — the worst case for the
+# columnar path and not the regime the tier is meant to measure.  On the
+# 316x316 grid the BFS frontier is an ~300-node anti-diagonal band.
+VEC_SIDE = 316  # 316 * 316 = 99 856 nodes
+
+
+def vectorized_speedup_rows(side: int = VEC_SIDE):
+    """Active-set vs columnar vectorized dispatch on the ~10^5-node grid.
+
+    Both runs execute to completion (every node halts) on a prebuilt
+    :class:`Network`; the vectorized warm-up run builds the cached CSR
+    columns so the timed runs compare dispatch strategies, not setup.
+    The dense dispatch is excluded at this tier — it is ~n/frontier
+    slower and would dominate the bench budget for no information.
+    """
+    from repro.congest.algorithms import _bfs_kernel_factory
+
+    graph = gen.grid(side, side)
+    net = Network(graph)
+    n = len(graph)
+    max_rounds = 4 * side + 16
+
+    def run(scheduler):
+        init, on_round = _wavefront_program()
+        on_round.vector_kernel = _bfs_kernel_factory(0, 4)
+        t0 = time.perf_counter()
+        res = net.run(init, on_round, max_rounds=max_rounds, scheduler=scheduler)
+        return res, time.perf_counter() - t0
+
+    run("vectorized")  # warm-up: builds the columnar adjacency cache
+    results = {}
+    elapsed = {}
+    for scheduler in ("active", "vectorized"):
+        results[scheduler], elapsed[scheduler] = run(scheduler)
+    assert results["active"].rounds == results["vectorized"].rounds
+    assert results["active"].messages_sent == results["vectorized"].messages_sent
+    assert results["active"].stop_reason == "halted"
+    assert results["vectorized"].stop_reason == "halted"
+    assert results["vectorized"].fast_path
+    rows = []
+    for scheduler in ("active", "vectorized"):
+        res = results[scheduler]
+        rows.append(
+            {
+                "scheduler": scheduler,
+                "workload": f"grid-{side}x{side}",
+                "n": n,
+                "rounds": res.rounds,
+                "messages": res.messages_sent,
+                "seconds": round(elapsed[scheduler], 4),
+                "speedup": round(elapsed["active"] / elapsed[scheduler], 2),
+            }
+        )
+    return rows
+
+
+_SPEEDUP_TITLE = (
+    f"Scheduler A/B - BFS wavefront: dense vs active on a {WAVE_N}-node "
+    f"path, active vs vectorized on a {VEC_SIDE}x{VEC_SIDE} grid"
+)
+_speedup_rows_cache = None
+
+
+def all_speedup_rows():
+    """Both A/B tiers, measured once per process (the tests and the
+    ``__main__`` table share the same measurement)."""
+    global _speedup_rows_cache
+    if _speedup_rows_cache is None:
+        _speedup_rows_cache = scheduler_speedup_rows() + vectorized_speedup_rows()
+    return _speedup_rows_cache
 
 
 def test_micro_embedding(benchmark):
@@ -153,14 +231,36 @@ def test_micro_scheduler_speedup(benchmark):
     """Acceptance gate: the active-set scheduler must beat the dense
     dispatch by >= 2x on the sparse-activity wavefront; the measured ratio
     is recorded in benchmarks/results/scheduler_speedup.txt."""
-    rows = scheduler_speedup_rows()
-    emit("scheduler_speedup.txt", rows,
-         f"Active-set vs dense dispatch - BFS wavefront on a {WAVE_N}-node path")
-    active = next(r for r in rows if r["scheduler"] == "active")
+    rows = all_speedup_rows()
+    emit("scheduler_speedup.txt", rows, _SPEEDUP_TITLE)
+    active = next(r for r in rows if r["scheduler"] == "active"
+                  and r["workload"].startswith("path"))
     assert active["speedup"] >= 2.0, rows
 
     net = Network(gen.path_graph(5000))
     benchmark(lambda: _run_wavefront(net, "active"))
+
+
+def test_micro_vectorized_speedup(benchmark):
+    """Acceptance gate (PR 6): the columnar vectorized dispatch must beat
+    the active-set scheduler by >= 5x on the 10^5-node grid BFS wavefront,
+    with identical round and message counts."""
+    rows = all_speedup_rows()
+    emit("scheduler_speedup.txt", rows, _SPEEDUP_TITLE)
+    vec = next(r for r in rows if r["scheduler"] == "vectorized")
+    assert vec["speedup"] >= 5.0, rows
+
+    from repro.congest.algorithms import _bfs_kernel_factory
+
+    net = Network(gen.grid(72, 72))
+
+    def vec_run():
+        init, on_round = _wavefront_program()
+        on_round.vector_kernel = _bfs_kernel_factory(0, 4)
+        return net.run(init, on_round, max_rounds=400, scheduler="vectorized")
+
+    vec_run()  # warm the columnar cache before timing
+    benchmark(vec_run)
 
 
 def tracing_overhead_rows(n: int = WAVE_N):
@@ -250,7 +350,6 @@ def test_micro_trace_overhead_bounded(benchmark):
 
 
 if __name__ == "__main__":
-    emit("scheduler_speedup.txt", scheduler_speedup_rows(),
-         f"Active-set vs dense dispatch - BFS wavefront on a {WAVE_N}-node path")
+    emit("scheduler_speedup.txt", all_speedup_rows(), _SPEEDUP_TITLE)
     emit("tracing_overhead.txt", tracing_overhead_rows(),
          f"Tracing overhead - BFS wavefront on a {WAVE_N}-node path")

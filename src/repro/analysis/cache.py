@@ -52,19 +52,30 @@ __all__ = [
 CODE_VERSION_ENV = "REPRO_BENCH_CODE_VERSION"
 
 #: Source files whose content defines the validity of cached artifacts:
-#: the generators that build the instances and the structures derived from
-#: them.  Editing any of these invalidates every cache entry.
+#: the generators that build the instances, the structures derived from
+#: them, and every module the simulator's dispatch path can execute
+#: (schedulers included — a scheduler edit must never serve stale
+#: results).  Editing any of these invalidates every cache entry.
+#: ``tests/test_vectorized.py`` asserts the congest package is covered
+#: in full, so a new simulator module cannot be forgotten here again.
 _FINGERPRINTED_SOURCES = (
     "planar/generators.py",
     "trees/spanning.py",
     "trees/rooted.py",
     "shortcuts/shortcuts.py",
+    "congest/__init__.py",
     "congest/ledger.py",
     "congest/network.py",
+    "congest/vectorized.py",
+    "congest/trace.py",
     "congest/faults.py",
     "congest/transport.py",
     "congest/algorithms.py",
     "congest/awerbuch.py",
+    "congest/fragments_sim.py",
+    "congest/mst.py",
+    "congest/partwise_sim.py",
+    "congest/weights_sim.py",
     "analysis/workloads.py",
     "analysis/experiments.py",
     "chaos/scenarios.py",

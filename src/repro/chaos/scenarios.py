@@ -70,7 +70,7 @@ __all__ = [
 ]
 
 #: name -> scenario function ``fn(graph, root, *, faults, transport,
-#: metrics) -> stats dict`` (raises on violation).
+#: metrics, scheduler) -> stats dict`` (raises on violation).
 SCENARIOS: Dict[str, Callable] = {}
 
 _ALL_FAULT_KINDS = frozenset({"drop", "duplicate", "corrupt"})
@@ -117,10 +117,10 @@ def _bfs_parent(graph, root):
 
 
 @scenario("broadcast")
-def _broadcast(graph, root, *, faults=None, transport=None, metrics=None):
+def _broadcast(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Resilient broadcast (its own ack layer; transport unused)."""
     result, report = resilient_broadcast_run(
-        graph, root, 42, faults=faults, metrics=metrics
+        graph, root, 42, faults=faults, metrics=metrics, scheduler=scheduler
     )
     if report is not None:
         raise VerificationError(f"broadcast failed: {report.reason}")
@@ -130,12 +130,13 @@ def _broadcast(graph, root, *, faults=None, transport=None, metrics=None):
 
 
 @scenario("convergecast")
-def _convergecast(graph, root, *, faults=None, transport=None, metrics=None):
+def _convergecast(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Resilient convergecast; the root must see every surviving node."""
     parent = _bfs_parent(graph, root)
     values = {v: 1 for v in graph.nodes}
     result, report = resilient_convergecast_run(
-        graph, root, values, parent, faults=faults, metrics=metrics
+        graph, root, values, parent, faults=faults, metrics=metrics,
+        scheduler=scheduler,
     )
     if report is not None:
         raise VerificationError(f"convergecast failed: {report.reason}")
@@ -149,10 +150,11 @@ def _convergecast(graph, root, *, faults=None, transport=None, metrics=None):
 
 
 @scenario("dfs")
-def _dfs(graph, root, *, faults=None, transport=None, metrics=None):
+def _dfs(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Awerbuch DFS; the parent map must be a DFS tree of the survivors."""
     result, report = resilient_dfs_run(
-        graph, root, faults=faults, metrics=metrics, transport=transport
+        graph, root, faults=faults, metrics=metrics, transport=transport,
+        scheduler=scheduler,
     )
     if report is not None:
         raise VerificationError(f"dfs failed: {report.reason}")
@@ -162,12 +164,13 @@ def _dfs(graph, root, *, faults=None, transport=None, metrics=None):
 
 
 @scenario("fragments")
-def _fragments(graph, root, *, faults=None, transport=None, metrics=None):
+def _fragments(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Fragment merge dynamic; must match the clean run's iteration count."""
     tree = bfs_tree(graph, root)
     clean = fragment_merge_run(graph, tree)
     run = fragment_merge_run(
-        graph, tree, faults=faults, transport=transport, metrics=metrics
+        graph, tree, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
     )
     if run.iterations != clean.iterations:
         raise VerificationError(
@@ -185,11 +188,12 @@ def _partwise_setup(graph):
 
 
 @scenario("partwise")
-def _partwise(graph, root, *, faults=None, transport=None, metrics=None):
+def _partwise(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Part-wise aggregation; aggregates must equal the direct sums."""
     parts, values = _partwise_setup(graph)
     run = partwise_aggregation_run(
-        graph, parts, values, faults=faults, transport=transport, metrics=metrics
+        graph, parts, values, faults=faults, transport=transport,
+        metrics=metrics, scheduler=scheduler,
     )
     expected = {
         i: sum(values[v] for v in part) for i, part in enumerate(parts)
@@ -205,12 +209,13 @@ def _partwise(graph, root, *, faults=None, transport=None, metrics=None):
 
 
 @scenario("weights")
-def _weights(graph, root, *, faults=None, transport=None, metrics=None):
+def _weights(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Weight computation; must equal the clean run bit for bit."""
     cfg = PlanarConfiguration.build(graph, root=root)
     clean = weights_problem_run(cfg)
     run = weights_problem_run(
-        cfg, faults=faults, transport=transport, metrics=metrics
+        cfg, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
     )
     if run.weights != clean.weights or run.orders != clean.orders:
         raise VerificationError("weights diverged from the clean run")
@@ -218,41 +223,51 @@ def _weights(graph, root, *, faults=None, transport=None, metrics=None):
 
 
 @scenario("mst")
-def _mst(graph, root, *, faults=None, transport=None, metrics=None):
+def _mst(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """Message-level Borůvka; the result must be the (tie-broken) MST."""
     run = boruvka_mst_run(
-        graph, faults=faults, transport=transport, metrics=metrics
+        graph, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
     )
     check_mst(graph, run.edges)
     return {"rounds": run.rounds, "phases": run.phases}
 
 
 @scenario("pipeline")
-def _pipeline(graph, root, *, faults=None, transport=None, metrics=None):
+def _pipeline(graph, root, *, faults=None, transport=None, metrics=None, scheduler="active"):
     """The full Theorem 2 shape: fragments -> partwise -> weights (with a
     verified separator) -> MST -> DFS, every phase under the same plan."""
     rounds = 0
     stats = _fragments(
-        graph, root, faults=faults, transport=transport, metrics=metrics
+        graph, root, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
     )
     rounds += stats["rounds"]
     stats = _partwise(
-        graph, root, faults=faults, transport=transport, metrics=metrics
+        graph, root, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
     )
     rounds += stats["rounds"]
     cfg = PlanarConfiguration.build(graph, root=root)
     clean = weights_problem_run(cfg)
     run = weights_problem_run(
-        cfg, faults=faults, transport=transport, metrics=metrics
+        cfg, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
     )
     if run.weights != clean.weights or run.orders != clean.orders:
         raise VerificationError("pipeline: weights diverged from the clean run")
     rounds += run.rounds
     sep = cycle_separator(cfg)
     check_separator(graph, sep.path)
-    stats = _mst(graph, root, faults=faults, transport=transport, metrics=metrics)
+    stats = _mst(
+        graph, root, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
+    )
     rounds += stats["rounds"]
-    stats = _dfs(graph, root, faults=faults, transport=transport, metrics=metrics)
+    stats = _dfs(
+        graph, root, faults=faults, transport=transport, metrics=metrics,
+        scheduler=scheduler,
+    )
     rounds += stats["rounds"]
     return {"rounds": rounds, "separator_size": len(sep.path)}
 
@@ -303,6 +318,7 @@ def run_scenario(
     graph_seed: int = 1,
     plan=None,
     transport=None,
+    scheduler: str = "active",
 ) -> Dict[str, Any]:
     """Run one scenario and normalize the outcome to a JSON-able dict.
 
@@ -310,6 +326,12 @@ def run_scenario(
     and round-budget exhaustion become ``ok=False`` with a deterministic
     ``violation`` string (the shrinker's comparison key).  Unknown
     scenario names still raise — that is a caller bug, not a finding.
+
+    ``scheduler`` selects the ``Network.run`` dispatcher for every run
+    the scenario makes.  It is recorded in the outcome but *excluded*
+    from the fingerprint: scheduler equivalence means the same campaign
+    under ``--scheduler vectorized`` must fingerprint identically to the
+    active-set baseline, and any divergence is itself a finding.
     """
     fn = SCENARIOS[name]
     graph, root = make_instance(n, graph_seed)
@@ -321,12 +343,16 @@ def run_scenario(
         "plan": plan.describe() if plan is not None else None,
         "transport": transport is not None
         and type(transport).__name__ != "NullTransport",
+        "scheduler": scheduler,
         "ok": True,
         "violation": None,
         "rounds": None,
     }
     try:
-        stats = fn(graph, root, faults=plan, transport=transport, metrics=metrics)
+        stats = fn(
+            graph, root, faults=plan, transport=transport, metrics=metrics,
+            scheduler=scheduler,
+        )
     except VerificationError as exc:
         outcome["ok"] = False
         outcome["violation"] = f"VerificationError: {exc}"

@@ -80,4 +80,29 @@ __all__ = [
     "weights_problem_run",
     "broadcast_run",
     "convergecast_run",
+    "VectorKernel",
+    "run_vectorized",
+    "min_flood_program",
 ]
+
+# The vectorized scheduler needs numpy; resolve its names lazily so the
+# scalar simulator keeps working on a numpy-less interpreter.
+_VECTORIZED_NAMES = frozenset(
+    {
+        "VectorKernel",
+        "run_vectorized",
+        "min_flood_program",
+        "BfsKernel",
+        "BroadcastKernel",
+        "ConvergecastKernel",
+        "MinFloodKernel",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _VECTORIZED_NAMES:
+        from . import vectorized
+
+        return getattr(vectorized, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -39,6 +39,51 @@ __all__ = [
 ]
 
 
+def _sum_combine(a: int, b: int) -> int:
+    """Default convergecast combiner.
+
+    Module-level (not a per-call lambda) so the vectorized scheduler can
+    recognise the default and substitute its columnar sum kernel; a
+    caller-supplied combiner keeps the message-level dispatcher.
+    """
+    return a + b
+
+
+# -- vector kernel factories -------------------------------------------------
+#
+# Each primitive attaches a ``vector_kernel`` factory to its round handler;
+# ``Network.run(..., scheduler="vectorized")`` calls it to build the
+# columnar twin of the closures, and ignores it under the other
+# schedulers.  The factories import repro.congest.vectorized lazily so the
+# scalar path never requires numpy.
+
+def _bfs_kernel_factory(root: Node, slack: int):
+    def factory(net):
+        from .vectorized import BfsKernel
+
+        return BfsKernel(net, root, slack)
+
+    return factory
+
+
+def _broadcast_kernel_factory(root: Node, value: int, parent):
+    def factory(net):
+        from .vectorized import BroadcastKernel
+
+        return BroadcastKernel(net, root, value, parent)
+
+    return factory
+
+
+def _convergecast_kernel_factory(values, parent):
+    def factory(net):
+        from .vectorized import ConvergecastKernel
+
+        return ConvergecastKernel(net, values, parent)
+
+    return factory
+
+
 def bfs_run(
     graph: nx.Graph,
     root: Node,
@@ -81,6 +126,8 @@ def bfs_run(
             else:
                 ctx.wake()
         return None
+
+    on_round.vector_kernel = _bfs_kernel_factory(root, slack)
 
     with trace_span(trace, "bfs", root=repr(root)):
         return Network(graph).run(
@@ -135,6 +182,11 @@ def broadcast_run(
             ctx.halt(ctx.state["value"])
         return None
 
+    # int64-safe plain ints only (a bool value would change its output
+    # repr under the columnar kernel; huge ints would overflow it).
+    if type(value) is int and abs(value) < (1 << 62):
+        on_round.vector_kernel = _broadcast_kernel_factory(root, value, parent)
+
     with trace_span(trace, "broadcast", root=repr(root)):
         return Network(graph).run(
             init, on_round,
@@ -149,7 +201,7 @@ def convergecast_run(
     root: Node,
     values: Dict[Node, int],
     parent: Dict[Node, Optional[Node]],
-    combine: Callable[[int, int], int] = lambda a, b: a + b,
+    combine: Callable[[int, int], int] = _sum_combine,
     trace: Optional[RoundTrace] = None,
     scheduler: str = "active",
     faults: Optional[FaultPlan] = None,
@@ -182,6 +234,17 @@ def convergecast_run(
             ctx.halt(ctx.state["acc"])
             return {p: (ctx.state["acc"],)}
         return None
+
+    # The columnar kernel hard-codes the sum combiner and int64
+    # accumulators; custom combiners and non-int (or overflow-risk)
+    # values keep the message-level dispatcher.
+    if combine is _sum_combine and all(
+        type(x) is int for x in values.values()
+    ) and (
+        not values
+        or max(abs(x) for x in values.values()) < (1 << 62) // (len(parent) + 1)
+    ):
+        on_round.vector_kernel = _convergecast_kernel_factory(values, parent)
 
     with trace_span(trace, "convergecast", root=repr(root)):
         return Network(graph).run(

@@ -27,11 +27,21 @@ The legacy every-node-every-round dispatch is kept as
 ``scheduler="dense"`` for A/B measurement; both schedulers produce
 identical results and round counts for programs honouring the wake
 contract (asserted by the regression suite).
+
+A third scheduler, ``"vectorized"``, runs *regular* programs (those whose
+handlers carry a :class:`repro.congest.vectorized.VectorKernel` factory)
+as bulk-synchronous numpy operations over the CSR arrays — one columnar
+update per round instead of one handler call per node — and falls back to
+the active-set dispatcher whenever the run is irregular (transport frames
+in flight, non-empty fault plan, or no kernel).  All three schedulers are
+``run_fingerprint``-identical on every program; see docs/MODEL.md,
+"Scheduler equivalence".
 """
 
 from __future__ import annotations
 
 import math
+import numbers
 import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -118,6 +128,9 @@ def payload_words(payload: Any, word_bits: int = DEFAULT_WORD_BITS) -> int:
     * ``bytes`` — ``ceil(8·len / word_bits)`` words;
     * ``list`` / ``tuple`` / ``set`` / ``frozenset`` — sum of element costs;
     * ``dict`` — sum of key costs plus value costs;
+    * numpy scalars and 0-d arrays — exactly their Python counterpart's
+      cost (``np.int64(5)`` costs what ``5`` costs); likewise any other
+      :class:`numbers.Integral` / :class:`numbers.Real` scalar type;
     * anything else raises :class:`CongestViolation` — unknown types have
       no defensible encoding and must not ride through at a flat rate.
     """
@@ -141,6 +154,18 @@ def payload_words(payload: Any, word_bits: int = DEFAULT_WORD_BITS) -> int:
                 for k, v in payload.items()
             ),
         )
+    # numpy scalars and 0-d arrays (np.int64 / np.float64 / np.bool_ and
+    # friends): cost them as the Python value they wrap.  Checked without
+    # importing numpy — any 0-d duck with ``.item()`` qualifies.
+    if getattr(payload, "shape", None) == () and hasattr(payload, "item"):
+        return payload_words(payload.item(), word_bits)
+    # Other scalar number types from the ABC tower (Fraction, or numpy
+    # scalars whose .item() returned themselves): integers by bit length,
+    # reals flat at one word, same as the builtin branches above.
+    if isinstance(payload, numbers.Integral):
+        return max(1, -(-int(payload).bit_length() // word_bits))
+    if isinstance(payload, numbers.Real):
+        return 1
     raise CongestViolation(
         f"payload of type {type(payload).__name__} has no CONGEST word cost",
         payload=payload,
@@ -235,6 +260,12 @@ class RunResult:
     transport:
         The :class:`repro.congest.transport.TransportStats` of the run's
         transport session, or ``None`` when no transport was used.
+    fast_path:
+        True when the vectorized bulk-synchronous scheduler executed the
+        run; False for the message-level dispatcher (including a
+        ``scheduler="vectorized"`` request that fell back).  Purely
+        informational — deliberately excluded from ``run_fingerprint``,
+        which hashes what the network *did*, not how it was dispatched.
     """
 
     __slots__ = (
@@ -249,6 +280,7 @@ class RunResult:
         "corrupted_messages",
         "crashed",
         "transport",
+        "fast_path",
     )
 
     def __init__(
@@ -264,6 +296,7 @@ class RunResult:
         crashed: Tuple[Node, ...] = (),
         corrupted_messages: int = 0,
         transport: Any = None,
+        fast_path: bool = False,
     ):
         self.rounds = rounds
         self.outputs = outputs
@@ -276,6 +309,7 @@ class RunResult:
         self.corrupted_messages = corrupted_messages
         self.crashed = crashed
         self.transport = transport
+        self.fast_path = fast_path
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -354,8 +388,13 @@ class Network:
 
         ``trace`` (a :class:`repro.congest.trace.RoundTrace`) opts into
         per-round observability; ``scheduler`` selects ``"active"`` (the
-        default active-set dispatch) or ``"dense"`` (legacy every-node
-        dispatch, kept for A/B measurement).
+        default active-set dispatch), ``"dense"`` (legacy every-node
+        dispatch, kept for A/B measurement) or ``"vectorized"`` (the
+        bulk-synchronous columnar fast path of
+        :mod:`repro.congest.vectorized` — engages when ``on_round``
+        carries a ``vector_kernel`` factory and neither a transport
+        session nor a non-empty fault plan is present, and falls back to
+        ``"active"`` otherwise; results are bit-identical either way).
 
         ``faults`` (a :class:`repro.congest.faults.FaultPlan`) injects
         deterministic message drops, stutter duplications, link
@@ -382,8 +421,37 @@ class Network:
         session's :class:`~repro.congest.transport.TransportStats` is
         attached as ``RunResult.transport``.
         """
-        if scheduler not in ("active", "dense"):
+        if scheduler not in ("active", "dense", "vectorized"):
             raise ValueError(f"unknown scheduler {scheduler!r}")
+        if scheduler == "vectorized":
+            # Bulk-synchronous fast path: engages only for *regular*
+            # programs — a VectorKernel factory attached to the handler,
+            # no transport session (frames are irregular per-edge state)
+            # and an absent-or-empty fault plan.  Anything else falls
+            # back to the active-set dispatcher, which is fingerprint-
+            # identical by construction (docs/MODEL.md, "Scheduler
+            # equivalence").
+            kernel_factory = getattr(on_round, "vector_kernel", None)
+            eligible = (
+                kernel_factory is not None
+                and transport is None
+                and (faults is None or faults.is_empty)
+            )
+            if eligible:
+                try:
+                    from .vectorized import run_vectorized
+                except ImportError:  # numpy unavailable: degrade, don't die
+                    eligible = False
+            if eligible:
+                return run_vectorized(
+                    self,
+                    kernel_factory(self),
+                    max_rounds,
+                    stop_when_quiet=stop_when_quiet,
+                    trace=trace,
+                    metrics=metrics,
+                )
+            scheduler = "active"
         dense = scheduler == "dense"
         session = None
         if transport is not None:

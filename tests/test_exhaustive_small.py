@@ -8,13 +8,29 @@ algorithms down at the small end, where every phase boundary and off-by-one
 lives.
 """
 
+import hashlib
+
 import networkx as nx
 import pytest
 
+from repro.congest import (
+    CostModel,
+    RoundLedger,
+    RoundTrace,
+    awerbuch_dfs_run,
+    bfs_run,
+    boruvka_mst_run,
+    fragment_merge_run,
+    partwise_aggregation_run,
+    run_fingerprint,
+    weights_problem_run,
+)
 from repro.core.config import PlanarConfiguration
 from repro.core.dfs import dfs_tree
 from repro.core.separator import cycle_separator
 from repro.core.verify import check_dfs_tree, check_separator
+from repro.planar import generators as gen
+from repro.trees import bfs_tree
 
 
 def small_planar_graphs(max_nodes=6):
@@ -68,3 +84,167 @@ class TestExhaustiveSmall:
             cfg1 = PlanarConfiguration.build(graph, root=0)
             cfg2 = PlanarConfiguration.build(graph, root=0)
             assert cycle_separator(cfg1).path == cycle_separator(cfg2).path
+
+
+# ---------------------------------------------------------------------------
+# PR 6: scheduler-equivalence A/B harness.
+#
+# Every message-level simulation in the repo, on every small instance
+# below, under all three ``Network.run`` schedulers — asserting identical
+# ``run_fingerprint`` (or, for composite sims that make many ``run``
+# calls, identical result fields plus an identical trace digest), round
+# counts, and charged-ledger totals.  ``fast_path`` is the only field
+# allowed to differ.  This is the harness CI's ``scheduler-parity`` job
+# executes; any divergence between the dense, active-set, and columnar
+# vectorized dispatchers fails here first.
+# ---------------------------------------------------------------------------
+
+SCHEDULERS = ("dense", "active", "vectorized")
+
+HARNESS_GRAPHS = [
+    ("grid_8x8", lambda: gen.grid(8, 8)),
+    ("delaunay_48", lambda: gen.delaunay(48, seed=5)),
+    ("grid_4x6", lambda: gen.grid(4, 6)),
+]
+
+
+def _trace_digest(trace):
+    """Per-round delivery tuples + per-edge word histograms, hashed.
+
+    The same projection :func:`repro.congest.run_fingerprint` uses: the
+    ``active`` field is excluded (dispatch sets differ across schedulers
+    by design), everything the network *delivered* is included.
+    """
+    digest = hashlib.sha256()
+    for rec in trace.records:
+        digest.update(
+            repr(
+                (
+                    rec.run,
+                    rec.round,
+                    rec.messages,
+                    rec.words,
+                    rec.dropped,
+                    rec.lost,
+                    rec.duplicated,
+                    rec.corrupted,
+                    rec.max_words,
+                )
+            ).encode()
+        )
+    for src, dst, hist in sorted(
+        (repr(s), repr(d), tuple(sorted(h.items())))
+        for (s, d), h in trace.edge_words.items()
+    ):
+        digest.update(f"{src}->{dst}:{hist};".encode())
+    return digest.hexdigest()
+
+
+def _ledger_totals(graph, result):
+    ledger = RoundLedger(CostModel(len(graph), nx.diameter(graph)))
+    ledger.charge_run("ab", result)
+    return ledger.total_rounds, ledger.measured_messages
+
+
+def _assert_all_equal(per_scheduler, context):
+    baseline = per_scheduler["dense"]
+    for sched in ("active", "vectorized"):
+        assert per_scheduler[sched] == baseline, (
+            f"{context}: scheduler {sched!r} diverges from dense"
+        )
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("name,make", HARNESS_GRAPHS)
+    def test_bfs(self, name, make):
+        g = make()
+        root = min(g.nodes, key=repr)
+        obs = {}
+        for sched in SCHEDULERS:
+            trace = RoundTrace()
+            res = bfs_run(g, root, trace=trace, scheduler=sched)
+            obs[sched] = (
+                run_fingerprint(res, trace),
+                res.rounds,
+                res.messages_sent,
+                _ledger_totals(g, res),
+            )
+        _assert_all_equal(obs, f"bfs/{name}")
+
+    @pytest.mark.parametrize("name,make", HARNESS_GRAPHS)
+    def test_awerbuch_dfs(self, name, make):
+        g = make()
+        root = min(g.nodes, key=repr)
+        obs = {}
+        for sched in SCHEDULERS:
+            trace = RoundTrace()
+            res = awerbuch_dfs_run(g, root, trace=trace, scheduler=sched)
+            obs[sched] = (
+                run_fingerprint(res, trace),
+                res.rounds,
+                _ledger_totals(g, res),
+            )
+        _assert_all_equal(obs, f"awerbuch/{name}")
+
+    @pytest.mark.parametrize("name,make", HARNESS_GRAPHS)
+    def test_fragment_merge(self, name, make):
+        g = make()
+        tree = bfs_tree(g, min(g.nodes, key=repr))
+        obs = {}
+        for sched in SCHEDULERS:
+            trace = RoundTrace()
+            run = fragment_merge_run(g, tree, trace=trace, scheduler=sched)
+            obs[sched] = (run.iterations, run.rounds, _trace_digest(trace))
+        _assert_all_equal(obs, f"fragments/{name}")
+
+    @pytest.mark.parametrize("name,make", HARNESS_GRAPHS)
+    def test_partwise_aggregation(self, name, make):
+        g = make()
+        nodes = sorted(g.nodes)
+        size = (len(nodes) + 3) // 4
+        parts = [nodes[i: i + size] for i in range(0, len(nodes), size)]
+        values = {v: (i * 13) % 17 for i, v in enumerate(nodes)}
+        obs = {}
+        for sched in SCHEDULERS:
+            trace = RoundTrace()
+            run = partwise_aggregation_run(
+                g, parts, values, trace=trace, scheduler=sched
+            )
+            obs[sched] = (
+                run.aggregates,
+                run.rounds,
+                run.charge,
+                _trace_digest(trace),
+            )
+        _assert_all_equal(obs, f"partwise/{name}")
+
+    @pytest.mark.parametrize("name,make", HARNESS_GRAPHS)
+    def test_weights_problem(self, name, make):
+        g = make()
+        cfg = PlanarConfiguration.build(g, root=min(g.nodes, key=repr))
+        obs = {}
+        for sched in SCHEDULERS:
+            trace = RoundTrace()
+            run = weights_problem_run(cfg, trace=trace, scheduler=sched)
+            obs[sched] = (
+                run.weights,
+                run.rounds,
+                run.orders,
+                _trace_digest(trace),
+            )
+        _assert_all_equal(obs, f"weights/{name}")
+
+    @pytest.mark.parametrize("name,make", HARNESS_GRAPHS)
+    def test_boruvka_mst(self, name, make):
+        g = make()
+        obs = {}
+        for sched in SCHEDULERS:
+            trace = RoundTrace()
+            run = boruvka_mst_run(g, trace=trace, scheduler=sched)
+            obs[sched] = (
+                run.edges,
+                run.phases,
+                run.rounds,
+                _trace_digest(trace),
+            )
+        _assert_all_equal(obs, f"mst/{name}")
