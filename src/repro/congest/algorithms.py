@@ -93,6 +93,8 @@ def bfs_run(
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
     transport=None,
+    shards: int = 1,
+    shard_mode: str = "auto",
 ) -> RunResult:
     """Distributed BFS from ``root``.
 
@@ -134,7 +136,8 @@ def bfs_run(
             init, on_round,
             max_rounds=scale_rounds(transport, 4 * len(graph) + 16),
             trace=trace, scheduler=scheduler, faults=faults,
-            metrics=metrics, transport=transport,
+            metrics=metrics, transport=transport, shards=shards,
+            shard_mode=shard_mode,
         )
 
 
@@ -148,6 +151,8 @@ def broadcast_run(
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
     transport=None,
+    shards: int = 1,
+    shard_mode: str = "auto",
 ) -> RunResult:
     """Downcast ``value`` from ``root`` along a known spanning tree.
 
@@ -192,7 +197,8 @@ def broadcast_run(
             init, on_round,
             max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
             trace=trace, scheduler=scheduler, faults=faults,
-            metrics=metrics, transport=transport,
+            metrics=metrics, transport=transport, shards=shards,
+            shard_mode=shard_mode,
         )
 
 
@@ -207,6 +213,8 @@ def convergecast_run(
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
     transport=None,
+    shards: int = 1,
+    shard_mode: str = "auto",
 ) -> RunResult:
     """Aggregate ``values`` up a known spanning tree (sum by default).
 
@@ -251,7 +259,8 @@ def convergecast_run(
             init, on_round,
             max_rounds=scale_rounds(transport, 2 * len(graph) + 8),
             trace=trace, scheduler=scheduler, faults=faults,
-            metrics=metrics, transport=transport,
+            metrics=metrics, transport=transport, shards=shards,
+            shard_mode=shard_mode,
         )
 
 

@@ -41,6 +41,8 @@ def awerbuch_dfs_run(
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
     transport=None,
+    shards: int = 1,
+    shard_mode: str = "auto",
 ) -> RunResult:
     """Run Awerbuch's DFS; each node outputs ``(parent, depth)``."""
 
@@ -131,6 +133,7 @@ def awerbuch_dfs_run(
             max_rounds=scale_rounds(transport, 6 * len(graph) + 16),
             finalize=_finalize, trace=trace, scheduler=scheduler,
             faults=faults, metrics=metrics, transport=transport,
+            shards=shards, shard_mode=shard_mode,
         )
     return result
 
@@ -156,6 +159,8 @@ def resilient_dfs_run(
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
     transport=None,
+    shards: int = 1,
+    shard_mode: str = "auto",
 ) -> Tuple[RunResult, Optional[FailureReport]]:
     """Awerbuch's DFS under faults, with graceful abort instead of a hang.
 
@@ -181,7 +186,8 @@ def resilient_dfs_run(
     with trace_span(trace, "resilient-dfs", root=repr(root)):
         result = awerbuch_dfs_run(
             graph, root, trace=trace, scheduler=scheduler, faults=faults,
-            metrics=metrics, transport=transport,
+            metrics=metrics, transport=transport, shards=shards,
+            shard_mode=shard_mode,
         )
     report = diagnose_run(result, kind="dfs", require_outputs=False)
     if report is not None:
