@@ -8,3 +8,6 @@ try:
     sys.exit(main())
 except BrokenPipeError:  # e.g. `python -m repro experiment all | head`
     sys.exit(0)
+except KeyboardInterrupt:  # Ctrl-C outside main()'s own handler (argparse,
+    sys.exit(130)          # import time): same clean 128 + SIGINT contract
+

@@ -12,7 +12,11 @@ Three layers:
   ``repro_chaos_*`` metrics);
 * :mod:`.shrink` — reduces a failing fault plan to a minimal explicit
   reproducer (record fired faults, then ddmin) and emits it as a
-  ready-to-paste regression test stanza.
+  ready-to-paste regression test stanza;
+* :mod:`.serve_chaos` — the request-lifecycle campaign against the
+  ``repro serve`` stack (real worker SIGKILLs, admission bursts, breaker
+  trips, drain): every request terminal, every 200 oracle-checked,
+  outcome sequence reproducible from the seed (``docs/SERVE.md``).
 """
 
 from .scenarios import SCENARIOS, run_scenario
@@ -23,6 +27,7 @@ from .campaign import (
     run_campaign,
     write_campaign,
 )
+from .serve_chaos import run_serve_campaign, serve_campaign, verify_determinism
 from .shrink import RecordingPlan, ShrinkResult, emit_stanza, shrink_unit
 
 __all__ = [
@@ -35,6 +40,9 @@ __all__ = [
     "emit_stanza",
     "run_campaign",
     "run_scenario",
+    "run_serve_campaign",
+    "serve_campaign",
     "shrink_unit",
+    "verify_determinism",
     "write_campaign",
 ]

@@ -500,6 +500,139 @@ def _cmd_shard(args) -> int:
     return 0
 
 
+def _serve_config(args) -> "ServeConfig":
+    from .serve import ServeConfig
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    if cache_dir is None and not args.no_cache and pathlib.Path("benchmarks").is_dir():
+        cache_dir = "benchmarks/.cache"
+    return ServeConfig(
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        deadline_s=args.deadline,
+        job_retries=args.job_retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache_dir=cache_dir,
+        cache_enabled=cache_dir is not None,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import run_server
+
+    asyncio.run(
+        run_server(
+            _serve_config(args),
+            host=args.host,
+            port=args.port,
+            metrics_path=args.metrics,
+        )
+    )
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .serve import (
+        EngineTarget,
+        HttpTarget,
+        LoadgenConfig,
+        ServeEngine,
+        run_loadgen,
+        write_bench,
+    )
+
+    config = LoadgenConfig(
+        seed=args.seed,
+        duration_s=args.duration,
+        total_requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        zipf_s=args.zipf,
+        catalog_size=args.catalog,
+        deadline_s=args.deadline,
+    )
+
+    async def drive() -> dict:
+        if args.self_contained:
+            engine = ServeEngine(_serve_config(args))
+            try:
+                return await run_loadgen(config, EngineTarget(engine))
+            finally:
+                await engine.drain()
+        host, _, port = args.url.rpartition("//")[2].partition(":")
+        return await run_loadgen(config, HttpTarget(host, int(port or "8750")))
+
+    bench = asyncio.run(drive())
+    results_dir = args.results_dir
+    if results_dir is None and pathlib.Path("benchmarks").is_dir():
+        results_dir = "benchmarks/results"
+    written = write_bench(bench, args.out, results_dir=results_dir)
+    print(
+        f"{bench['mode']}-loop: {bench['requests']} request(s) in "
+        f"{bench['wall_s']:.2f}s ({bench['throughput_rps']:.1f} rps)"
+    )
+    print(
+        "accepted latency p50/p90/p99: "
+        f"{bench['latency_s']['p50'] * 1000:.1f} / "
+        f"{bench['latency_s']['p90'] * 1000:.1f} / "
+        f"{bench['latency_s']['p99'] * 1000:.1f} ms; "
+        f"cache-hit rate {bench['cache_hit_rate']:.0%}"
+    )
+    statuses = ", ".join(
+        f"{k}={v}" for k, v in sorted(bench["status_counts"].items())
+    )
+    server = bench["server"]
+    print(f"statuses: {statuses}")
+    print(
+        f"server: shed={server['shed']:.0f} retries={server['retries']:.0f} "
+        f"restarts={server['worker_restarts']:.0f} "
+        f"breaker-opens={server['breaker_opens']:.0f}"
+    )
+    print(f"wrote {', '.join(str(p) for p in written)}")
+    return 0
+
+
+def _cmd_chaos_serve(args) -> int:
+    import json
+
+    from .chaos.serve_chaos import serve_campaign, verify_determinism
+
+    if args.verify_determinism:
+        record = verify_determinism(args.seed, requests=args.requests)
+    else:
+        record = serve_campaign(args.seed, requests=args.requests)
+    histogram = ", ".join(
+        f"{k}={v}" for k, v in sorted(record["histogram"].items())
+    )
+    print(
+        f"serve campaign seed={record['seed']}: {record['requests']} "
+        f"request(s), fingerprint {record['fingerprint']}"
+    )
+    print(f"outcomes: {histogram}")
+    print(
+        f"terminal: {record['all_terminal']}; oracles checked on "
+        f"{record['oracle_checked']} response(s), "
+        f"{len(record['violations'])} violation(s); "
+        f"orphans: {len(record['orphan_pids'])}"
+    )
+    if "deterministic" in record:
+        print(f"deterministic across two runs: {record['deterministic']}")
+    if args.json is not None:
+        pathlib.Path(args.json).write_text(
+            json.dumps(record, indent=2, default=str) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if not record["ok"]:
+        print("FAIL: serve chaos contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_chaos_report(args) -> int:
     import json
 
@@ -692,6 +825,25 @@ def main(argv=None) -> int:
     c_rep.add_argument("path", help="chaos_<name>.json artifact")
     c_rep.set_defaults(func=_cmd_chaos_report)
 
+    c_srv = c_sub.add_parser(
+        "serve",
+        help="seeded worker-kill campaign against the serve engine",
+        description="Drive a real ServeEngine (real worker processes, real "
+        "SIGKILLs) through a scripted kill/burst/breaker/drain campaign; "
+        "every request must reach a terminal 200/400/429/503 and every 200 "
+        "must pass the oracles (docs/SERVE.md).",
+    )
+    c_srv.add_argument("--seed", type=int, default=1, help="campaign seed")
+    c_srv.add_argument("--requests", type=int, default=18,
+                       help="lifecycle-phase request count (default 18)")
+    c_srv.add_argument("--verify-determinism", action="store_true",
+                       dest="verify_determinism",
+                       help="run the campaign twice and require identical "
+                       "outcome sequences (the CI gate)")
+    c_srv.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the outcome record as JSON")
+    c_srv.set_defaults(func=_cmd_chaos_serve)
+
     p_sh = sub.add_parser(
         "shard",
         help="separator-sharded run with single-process parity check",
@@ -721,8 +873,92 @@ def main(argv=None) -> int:
                       "inside each shard (default active)")
     p_sh.set_defaults(func=_cmd_shard)
 
+    def add_pool_args(p):
+        p.add_argument("--workers", type=int, default=2,
+                       help="worker processes (default 2)")
+        p.add_argument("--max-inflight", type=int, default=8,
+                       dest="max_inflight",
+                       help="admission window; beyond it requests shed 429 "
+                       "(default 8)")
+        p.add_argument("--deadline", type=float, default=30.0,
+                       help="per-request deadline in seconds (default 30)")
+        p.add_argument("--job-retries", type=int, default=1, dest="job_retries",
+                       help="retries for jobs orphaned by a worker death "
+                       "(default 1)")
+        p.add_argument("--breaker-threshold", type=int, default=3,
+                       dest="breaker_threshold",
+                       help="worker deaths that trip the circuit breaker "
+                       "(default 3)")
+        p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       dest="breaker_cooldown",
+                       help="seconds before the open breaker admits a probe "
+                       "(default 5)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache location (default benchmarks/.cache "
+                       "when present)")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the separator/DFS job service",
+        description="Long-running asyncio HTTP service over the supervised "
+        "worker pool: POST /jobs, GET /healthz /readyz /metrics; graceful "
+        "drain on SIGTERM. Degradation ladder and endpoint contract in "
+        "docs/SERVE.md.",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8750,
+                       help="listen port (0 = pick a free one; default 8750)")
+    p_srv.add_argument("--metrics", default=None, metavar="PATH",
+                       help="flush the final exposition here on shutdown")
+    add_pool_args(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="seeded load generator -> BENCH_SERVE.json",
+        description="Zipf-repeated seeded workload against a running server "
+        "(--url) or an in-process engine (--self-contained); closed-loop "
+        "vusers by default, open-loop arrivals with --rate. Emits "
+        "BENCH_SERVE.json (throughput, p50/p99, cache-hit rate, "
+        "shed/retry/restart counts); see docs/SERVE.md.",
+    )
+    p_lg.add_argument("--url", default="http://127.0.0.1:8750",
+                      help="server to drive (default http://127.0.0.1:8750)")
+    p_lg.add_argument("--self-contained", action="store_true",
+                      dest="self_contained",
+                      help="run against an in-process engine (no server "
+                      "needed; deterministic-friendly)")
+    p_lg.add_argument("--seed", type=int, default=1, help="workload seed")
+    p_lg.add_argument("--duration", type=float, default=5.0,
+                      help="seconds to run (0 = use --requests; default 5)")
+    p_lg.add_argument("--requests", type=int, default=0,
+                      help="stop after N requests instead of a duration")
+    p_lg.add_argument("--concurrency", type=int, default=4,
+                      help="closed-loop virtual users (default 4)")
+    p_lg.add_argument("--rate", type=float, default=0.0,
+                      help="open-loop arrivals/second (> 0 switches modes)")
+    p_lg.add_argument("--zipf", type=float, default=1.2,
+                      help="zipf exponent for repeat queries (default 1.2)")
+    p_lg.add_argument("--catalog", type=int, default=24,
+                      help="distinct jobs in the workload (default 24)")
+    p_lg.add_argument("--out", default="BENCH_SERVE.json", metavar="PATH",
+                      help="bench destination (default BENCH_SERVE.json)")
+    p_lg.add_argument("--results-dir", default=None, metavar="DIR",
+                      help="also merge repro_serve_* into DIR/metrics.prom "
+                      "(default benchmarks/results when present)")
+    add_pool_args(p_lg)
+    p_lg.set_defaults(func=_cmd_loadgen)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C during a long chaos/shard/serve run is a clean stop, not
+        # a crash: conventional 128 + SIGINT, no traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

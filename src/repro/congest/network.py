@@ -472,17 +472,19 @@ class Network:
             # identical by construction (docs/MODEL.md, "Scheduler
             # equivalence").
             kernel_factory = getattr(on_round, "vector_kernel", None)
-            eligible = (
-                kernel_factory is not None
-                and transport is None
-                and (faults is None or faults.is_empty)
-            )
-            if eligible:
+            fallback_reason = None
+            if kernel_factory is None:
+                fallback_reason = "no-kernel"
+            elif transport is not None:
+                fallback_reason = "transport"
+            elif faults is not None and not faults.is_empty:
+                fallback_reason = "faults"
+            if fallback_reason is None:
                 try:
                     from .vectorized import run_vectorized
                 except ImportError:  # numpy unavailable: degrade, don't die
-                    eligible = False
-            if eligible:
+                    fallback_reason = "no-numpy"
+            if fallback_reason is None:
                 return run_vectorized(
                     self,
                     kernel_factory(self),
@@ -491,6 +493,15 @@ class Network:
                     trace=trace,
                     metrics=metrics,
                 )
+            if metrics is not None:
+                # The downgrade also lands in RunResult.fast_path, but a
+                # field on a return value is silent in a fleet — the
+                # counter is what loadgen/chaos dashboards alert on.
+                metrics.counter(
+                    "congest_scheduler_fallbacks_total",
+                    "Vectorized-scheduler requests downgraded to active-set",
+                    labels=("reason",),
+                ).inc(reason=fallback_reason)
             scheduler = "active"
         dense = scheduler == "dense"
         session = None

@@ -1,0 +1,51 @@
+"""``repro.serve`` — the self-defending separator/DFS service.
+
+The robustness layer over the paper's pipeline: accept graph jobs over
+HTTP, execute them in a supervised worker pool, and keep every response
+terminal and oracle-checked no matter what the workers, the load, or the
+chaos harness do.  The degradation ladder (accept → queue → shed →
+break) lives in :mod:`.engine`; :mod:`.jobs` defines the content-addressed
+job model, :mod:`.pool` the restartable pool and circuit breaker,
+:mod:`.http` the stdlib asyncio front end, and :mod:`.loadgen` the seeded
+workload driver that emits ``BENCH_SERVE.json``.  See ``docs/SERVE.md``.
+"""
+
+from .engine import STATUS_CODES, ServeConfig, ServeEngine, ServeResponse
+from .http import ServeServer, http_request, run_server
+from .jobs import JobError, JobSpec, parse_job, run_job, verify_result
+from .loadgen import (
+    EngineTarget,
+    HttpTarget,
+    LoadgenConfig,
+    build_catalog,
+    parse_prometheus,
+    run_loadgen,
+    serve_metrics,
+    write_bench,
+)
+from .pool import CircuitBreaker, SupervisedPool
+
+__all__ = [
+    "STATUS_CODES",
+    "CircuitBreaker",
+    "EngineTarget",
+    "HttpTarget",
+    "JobError",
+    "JobSpec",
+    "LoadgenConfig",
+    "ServeConfig",
+    "ServeEngine",
+    "ServeResponse",
+    "ServeServer",
+    "SupervisedPool",
+    "build_catalog",
+    "http_request",
+    "parse_job",
+    "parse_prometheus",
+    "run_job",
+    "run_loadgen",
+    "run_server",
+    "serve_metrics",
+    "verify_result",
+    "write_bench",
+]

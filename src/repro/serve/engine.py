@@ -1,0 +1,356 @@
+"""The ``repro serve`` request engine: the degradation ladder in code.
+
+:class:`ServeEngine` owns every robustness decision between "bytes
+arrived" and "terminal response", in the order a request meets them:
+
+1. **drain** — a stopping service admits nothing (503 ``draining``);
+2. **admission** — a bounded in-flight window; a full window sheds
+   *synchronously* (429 ``shed`` + Retry-After) before the request costs
+   anything, so overload degrades into fast refusals instead of a queue
+   collapse;
+3. **cache** — the content-addressed job key (:meth:`JobSpec.key`) hits
+   :class:`~repro.analysis.cache.InstanceCache` and skips the pool
+   entirely — repeats are free, and the same idempotency makes
+   worker-death retries safe;
+4. **breaker** — repeated worker deaths trip the
+   :class:`~repro.serve.pool.CircuitBreaker`; an open breaker fast-fails
+   (503 ``breaker-open``) instead of feeding a dying pool;
+5. **deadline** — the absolute deadline travels into the worker (which
+   declines expired jobs) and bounds the parent's wait; expiry is a 503
+   ``deadline``, and a worker that keeps computing past it is a *wedge*:
+   a watchdog SIGKILLs the generation after a grace period so the slot
+   comes back;
+6. **supervision** — a worker death poisons its generation's futures
+   with ``BrokenProcessPool``; the first observer restarts the pool
+   (generation-guarded, exponential backoff) and innocent jobs retry up
+   to ``job_retries`` times before giving up with 503 ``worker-died``.
+
+Every path lands in exactly one terminal status — ``ok`` (200),
+``invalid`` (400), ``shed`` (429), or a 503 flavour — which is the
+invariant the chaos harness (:mod:`repro.chaos.serve_chaos`) fingerprints.
+
+The engine is transport-agnostic: :mod:`repro.serve.http` maps
+:class:`ServeResponse` onto HTTP, the chaos harness calls
+:meth:`ServeEngine.submit` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..analysis.cache import InstanceCache
+from ..obs.metrics import MetricsRegistry
+from .jobs import JobError, parse_job, run_job
+from .pool import BROKEN_POOL, CircuitBreaker, SupervisedPool
+
+__all__ = ["ServeConfig", "ServeEngine", "ServeResponse", "STATUS_CODES"]
+
+#: Terminal status -> HTTP code; the complete response taxonomy.
+STATUS_CODES = {
+    "ok": 200,
+    "invalid": 400,
+    "shed": 429,
+    "draining": 503,
+    "breaker-open": 503,
+    "deadline": 503,
+    "worker-died": 503,
+    "oracle-violation": 503,
+}
+
+#: Latency buckets for ``serve_request_seconds`` (sub-ms cache hits
+#: through multi-second big-instance pipelines).
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one engine; the CLI maps flags onto these fields."""
+
+    workers: int = 2
+    #: Admission window: max requests past admission at once; the queue
+    #: the window implies lives in the pool's submit backlog.
+    max_inflight: int = 8
+    #: Default per-request deadline (seconds); clients may lower it.
+    deadline_s: float = 30.0
+    #: Retry-After hint attached to 429s.
+    retry_after_s: float = 1.0
+    #: Bounded retries for jobs orphaned by a worker death.
+    job_retries: int = 1
+    #: Worker deaths (without an intervening success) that trip the breaker.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    #: Count-based cooldown override (deterministic chaos mode).
+    breaker_cooldown_rejects: Optional[int] = None
+    #: Restart backoff (0 = no sleeping, the deterministic test mode).
+    restart_backoff_s: float = 0.05
+    restart_backoff_cap_s: float = 2.0
+    #: Grace before a wedged worker (computing past its deadline) is shot.
+    wedge_grace_s: float = 2.0
+    #: Result cache location; ``None`` disables caching entirely.
+    cache_dir: Optional[str] = "benchmarks/.cache"
+    cache_enabled: bool = True
+
+
+@dataclass
+class ServeResponse:
+    """One terminal response: HTTP code, JSON body, optional headers."""
+
+    code: int
+    body: Dict[str, Any]
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        return self.body.get("status", "")
+
+
+class ServeEngine:
+    """The service core — see the module docstring for the ladder."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pool = SupervisedPool(
+            self.config.workers,
+            backoff_base=self.config.restart_backoff_s,
+            backoff_cap=self.config.restart_backoff_cap_s,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            cooldown_rejects=self.config.breaker_cooldown_rejects,
+        )
+        self.cache = InstanceCache(
+            self.config.cache_dir or ".",
+            enabled=self.config.cache_enabled and self.config.cache_dir is not None,
+        )
+        self.inflight = 0
+        self.draining = False
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._restart_lock = asyncio.Lock()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "serve_requests_total", "Terminal responses by status", labels=("status",)
+        )
+        self._m_shed = m.counter("serve_shed_total", "Requests refused by admission control")
+        self._m_cache_hits = m.counter("serve_cache_hits_total", "Jobs answered from the result cache")
+        self._m_retries = m.counter("serve_retries_total", "Jobs re-dispatched after a worker death")
+        self._m_restarts = m.counter("serve_worker_restarts_total", "Worker-pool generation restarts")
+        self._m_breaker = m.counter("serve_breaker_open_total", "Circuit-breaker trips to open")
+        self._m_wedge = m.counter("serve_wedge_kills_total", "Wedged workers killed past deadline")
+        self._m_inflight = m.gauge("serve_inflight", "Requests currently past admission")
+        self._m_latency = m.histogram(
+            "serve_request_seconds", "Terminal-response latency", buckets=_LATENCY_BUCKETS
+        )
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        payload: Any,
+        *,
+        deadline_s: Optional[float] = None,
+        on_dispatch: Optional[Callable[["ServeEngine", int], None]] = None,
+    ) -> ServeResponse:
+        """Run one request through the ladder to a terminal response.
+
+        The drain and admission checks (and the shed itself) run in the
+        synchronous prefix — before the first ``await`` — so a burst of
+        N tasks created in order sheds deterministically: the first
+        ``max_inflight`` are admitted, the rest refused, regardless of
+        how the event loop later interleaves them.
+
+        ``on_dispatch(engine, attempt)`` fires right after each pool
+        dispatch — the chaos harness's seam for killing the worker that
+        just received the job.
+        """
+        started = time.monotonic()
+        if self.draining:
+            return self._terminal("draining", {}, started)
+        if self.inflight >= self.config.max_inflight:
+            self._m_shed.inc()
+            return self._terminal(
+                "shed",
+                {"retry_after": self.config.retry_after_s},
+                started,
+                headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+            )
+        self.inflight += 1
+        self._drained.clear()
+        self._m_inflight.set_max(self.inflight)
+        try:
+            return await self._execute(payload, deadline_s, on_dispatch, started)
+        finally:
+            self.inflight -= 1
+            if self.inflight == 0:
+                self._drained.set()
+
+    async def _execute(
+        self,
+        payload: Any,
+        deadline_s: Optional[float],
+        on_dispatch: Optional[Callable[["ServeEngine", int], None]],
+        started: float,
+    ) -> ServeResponse:
+        try:
+            spec = parse_job(payload)
+        except JobError as exc:
+            return self._terminal("invalid", {"error": str(exc)}, started)
+        key = spec.key()
+        hit, cached_result = self.cache.get("serve-job", [key])
+        if hit:
+            self._m_cache_hits.inc()
+            return self._terminal("ok", dict(cached_result, cached=True), started)
+        if not self.breaker.allow():
+            return self._terminal("breaker-open", {"key": key}, started)
+
+        budget = self.config.deadline_s if deadline_s is None else deadline_s
+        deadline_ts = time.time() + budget
+        canonical = spec.canonical()
+        attempts = 1 + max(0, self.config.job_retries)
+        for attempt in range(attempts):
+            remaining = deadline_ts - time.time()
+            if remaining <= 0:
+                return self._terminal("deadline", {"key": key}, started)
+            generation = self.pool.generation
+            try:
+                fut = self.pool.submit(run_job, canonical, deadline_ts)
+            except BROKEN_POOL:
+                await self._handle_pool_death(generation)
+                if attempt + 1 < attempts:
+                    self._m_retries.inc()
+                    continue
+                return self._terminal(
+                    "worker-died", {"key": key, "attempts": attempt + 1}, started
+                )
+            if on_dispatch is not None:
+                on_dispatch(self, attempt)
+            try:
+                result = await asyncio.wait_for(asyncio.wrap_future(fut), remaining)
+            except asyncio.TimeoutError:
+                # wait_for cancelled the wrapper; if the concurrent future
+                # is already running the worker is wedged — give it grace,
+                # then shoot the generation so the slot comes back.
+                if not fut.cancel() and not fut.done():
+                    asyncio.get_running_loop().create_task(
+                        self._wedge_watchdog(fut, generation)
+                    )
+                return self._terminal("deadline", {"key": key}, started)
+            except BROKEN_POOL:
+                await self._handle_pool_death(generation)
+                if attempt + 1 < attempts:
+                    self._m_retries.inc()
+                    continue
+                return self._terminal(
+                    "worker-died", {"key": key, "attempts": attempt + 1}, started
+                )
+
+            self.pool.note_success()
+            self.breaker.record_success()
+            status = result.get("status", "oracle-violation")
+            if status == "ok":
+                self.cache.put("serve-job", [key], result)
+                return self._terminal("ok", dict(result, cached=False), started)
+            if status == "invalid":
+                return self._terminal("invalid", {"error": result.get("error")}, started)
+            if status == "expired":
+                return self._terminal("deadline", {"key": key}, started)
+            return self._terminal(
+                "oracle-violation", {"key": key, "error": result.get("error")}, started
+            )
+        raise AssertionError("unreachable: retry loop always returns")
+
+    async def _handle_pool_death(self, generation: int) -> None:
+        """One restart (and one breaker failure) per dead generation, no
+        matter how many in-flight requests observed the corpse."""
+        async with self._restart_lock:
+            if generation != self.pool.generation:
+                return  # another request already supervised this death
+            opens_before = self.breaker.opens
+            self.breaker.record_failure()
+            if self.breaker.opens > opens_before:
+                self._m_breaker.inc()
+            delay = self.pool.backoff_delay()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if self.pool.restart(generation):
+                self._m_restarts.inc()
+
+    async def _wedge_watchdog(self, fut, generation: int) -> None:
+        await asyncio.sleep(self.config.wedge_grace_s)
+        if fut.done() or self.pool.generation != generation:
+            return
+        self._m_wedge.inc()
+        self.pool.kill_all_workers()  # poisons the generation; the next
+        # observer's BrokenProcessPool triggers the normal restart path
+
+    def _terminal(
+        self,
+        status: str,
+        body: Dict[str, Any],
+        started: float,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ServeResponse:
+        self._m_requests.inc(status=status)
+        self._m_latency.observe(time.monotonic() - started)
+        out = {"status": status}
+        out.update(body)
+        return ServeResponse(STATUS_CODES[status], out, headers or {})
+
+    # ------------------------------------------------------------------
+    async def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful stop: refuse new work, wait for in-flight requests,
+        shut the pool down.  Returns True when everything finished inside
+        ``timeout_s`` (stragglers past it resolve as 503s on their own —
+        the pool shutdown breaks their futures)."""
+        self.draining = True
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout_s)
+            clean = True
+        except asyncio.TimeoutError:
+            clean = False
+        self.pool.shutdown()
+        return clean
+
+    def close(self) -> None:
+        """Synchronous teardown for tests and CLI cleanup paths."""
+        self.draining = True
+        self.pool.shutdown()
+
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        """Liveness: the process is up and the pool is not closed."""
+        return not self.pool._closed
+
+    def ready(self) -> bool:
+        """Readiness: admitting traffic with a closed (or probing) breaker."""
+        return not self.draining and self.breaker.state != "open"
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot for ``BENCH_SERVE.json`` and the chaos harness."""
+        by_status = {
+            ",".join(k): v for k, v in sorted(self._m_requests._values.items())
+        }
+        return {
+            "requests": by_status,
+            "shed": self._m_shed.total,
+            "cache_hits": self._m_cache_hits.total,
+            "retries": self._m_retries.total,
+            "worker_restarts": self._m_restarts.total,
+            "breaker_opens": self._m_breaker.total,
+            "wedge_kills": self._m_wedge.total,
+            "pool_generation": self.pool.generation,
+            "breaker_state": self.breaker.state,
+            "cache": self.cache.stats(),
+        }

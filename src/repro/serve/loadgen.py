@@ -1,0 +1,342 @@
+"""Seeded load generation for ``repro serve`` → ``BENCH_SERVE.json``.
+
+The workload is a deterministic function of its seed: a small *catalog*
+of jobs (mixed families and sizes, so worker cost varies) queried under a
+zipf rank distribution — a few hot jobs repeat constantly (exercising the
+content-addressed result cache), a long tail stays cold.  Two driving
+modes:
+
+* **closed-loop** (default) — ``concurrency`` virtual users each issue
+  the next request as soon as the previous one resolves: throughput
+  follows service capacity, the classic saturation probe;
+* **open-loop** — ``rate`` arrivals per second regardless of completions:
+  the overload probe that drives the server past capacity and must come
+  back as bounded 429 shedding, not collapse.
+
+The emitted ``BENCH_SERVE.json`` carries client-side truth (throughput,
+p50/p90/p99 of *accepted* requests, status histogram, cache-hit rate) and
+server-side truth (shed/retry/restart/breaker counters scraped from
+``/metrics`` — which doubles as the "exposition parses" check), plus the
+repo's standard git-SHA/timestamp provenance.  :func:`serve_metrics`
+mirrors the headline numbers as ``repro_serve_*`` metrics for
+``summary_dict(extra_metrics=...)`` — joining the benchmark trajectory
+without touching the ``--compare`` gate, exactly like ``repro_chaos_*``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import pathlib
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.provenance import provenance
+from ..obs.metrics import MetricsRegistry
+from .engine import ServeEngine
+from .http import http_request
+
+__all__ = [
+    "LoadgenConfig",
+    "EngineTarget",
+    "HttpTarget",
+    "build_catalog",
+    "parse_prometheus",
+    "run_loadgen",
+    "serve_metrics",
+    "write_bench",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class LoadgenConfig:
+    """One workload definition (everything the bench provenance records)."""
+
+    seed: int = 1
+    #: Stop after this many seconds (0 = stop on ``total_requests``).
+    duration_s: float = 5.0
+    total_requests: int = 0
+    #: Closed-loop virtual users (ignored when ``rate`` > 0).
+    concurrency: int = 4
+    #: Open-loop arrivals per second (> 0 switches modes).
+    rate: float = 0.0
+    #: Zipf exponent for catalog rank popularity.
+    zipf_s: float = 1.2
+    catalog_size: int = 24
+    families: Tuple[str, ...] = (
+        "grid", "tri-grid", "delaunay", "random-planar", "outerplanar"
+    )
+    #: Instance sizes to mix (small = fast, large = slow workers).
+    sizes: Tuple[int, ...] = (24, 48, 96, 180)
+    #: Per-request deadline override (None = server default).
+    deadline_s: Optional[float] = None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "total_requests": self.total_requests,
+            "concurrency": self.concurrency,
+            "rate": self.rate,
+            "zipf_s": self.zipf_s,
+            "catalog_size": self.catalog_size,
+            "families": list(self.families),
+            "sizes": list(self.sizes),
+            "deadline_s": self.deadline_s,
+        }
+
+
+def build_catalog(config: LoadgenConfig) -> List[Dict[str, Any]]:
+    """The job catalog: ``catalog_size`` distinct generator jobs drawn
+    deterministically from the configured families × sizes."""
+    rng = random.Random(config.seed)
+    catalog = []
+    for i in range(config.catalog_size):
+        catalog.append(
+            {
+                "family": rng.choice(config.families),
+                "n": rng.choice(config.sizes),
+                "seed": rng.randrange(1000),
+                "root": 0,
+            }
+        )
+    return catalog
+
+
+def _zipf_weights(k: int, s: float) -> List[float]:
+    return [1.0 / (rank + 1) ** s for rank in range(k)]
+
+
+class EngineTarget:
+    """Drive a :class:`ServeEngine` in-process (tests, chaos, self-contained
+    benches) — no sockets, same request semantics."""
+
+    def __init__(self, engine: ServeEngine):
+        self.engine = engine
+
+    async def submit(
+        self, payload: Dict[str, Any], deadline_s: Optional[float]
+    ) -> Tuple[int, Dict[str, Any]]:
+        resp = await self.engine.submit(payload, deadline_s=deadline_s)
+        return resp.code, resp.body
+
+    async def server_counters(self) -> Dict[str, float]:
+        s = self.engine.stats()
+        return {
+            "shed": s["shed"],
+            "retries": s["retries"],
+            "worker_restarts": s["worker_restarts"],
+            "breaker_opens": s["breaker_opens"],
+            "cache_hits": s["cache_hits"],
+        }
+
+
+class HttpTarget:
+    """Drive a running server over HTTP (the CI smoke path)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    async def submit(
+        self, payload: Dict[str, Any], deadline_s: Optional[float]
+    ) -> Tuple[int, Dict[str, Any]]:
+        headers = {} if deadline_s is None else {"X-Deadline-S": f"{deadline_s:g}"}
+        code, _, raw = await http_request(
+            self.host, self.port, "POST", "/jobs", payload, headers=headers
+        )
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except json.JSONDecodeError:
+            body = {"status": "invalid", "error": "unparseable body"}
+        return code, body
+
+    async def server_counters(self) -> Dict[str, float]:
+        _, _, raw = await http_request(self.host, self.port, "GET", "/metrics")
+        samples = parse_prometheus(raw.decode())
+        return {
+            "shed": samples.get("serve_shed_total", 0),
+            "retries": samples.get("serve_retries_total", 0),
+            "worker_restarts": samples.get("serve_worker_restarts_total", 0),
+            "breaker_opens": samples.get("serve_breaker_open_total", 0),
+            "cache_hits": samples.get("serve_cache_hits_total", 0),
+        }
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse a text exposition into ``name{labels} -> value`` (labelled
+    samples keep their brace group; a name's label values also sum into
+    the bare name).  Raises ``ValueError`` on a malformed sample line —
+    the CI smoke job leans on that as its "metrics parses" assertion."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {line!r}")
+        value = float(value_part)  # ValueError on garbage = parse failure
+        samples[name_part] = samples.get(name_part, 0.0) + value
+        if "{" in name_part:
+            bare = name_part.split("{", 1)[0]
+            samples[bare] = samples.get(bare, 0.0) + value
+    return samples
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(p * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+async def run_loadgen(config: LoadgenConfig, target) -> Dict[str, Any]:
+    """Run the workload against ``target`` and return the bench dict."""
+    catalog = build_catalog(config)
+    weights = _zipf_weights(len(catalog), config.zipf_s)
+    rng = random.Random(config.seed + 1)  # pick stream, distinct from catalog
+    samples: List[Dict[str, Any]] = []
+    issued = 0
+    started = time.monotonic()
+
+    def stop_now() -> bool:
+        if config.total_requests and issued >= config.total_requests:
+            return True
+        return bool(
+            config.duration_s and time.monotonic() - started >= config.duration_s
+        )
+
+    async def one(payload: Dict[str, Any]) -> None:
+        t0 = time.monotonic()
+        code, body = await target.submit(payload, config.deadline_s)
+        samples.append(
+            {
+                "status": body.get("status", f"http-{code}"),
+                "code": code,
+                "latency_s": time.monotonic() - t0,
+                "cached": bool(body.get("cached")),
+            }
+        )
+
+    if config.rate > 0:  # open loop: arrivals on a clock
+        interval = 1.0 / config.rate
+        tasks = []
+        while not stop_now():
+            issued += 1
+            tasks.append(asyncio.ensure_future(one(rng.choices(catalog, weights)[0])))
+            await asyncio.sleep(interval)
+        if tasks:
+            await asyncio.gather(*tasks)
+    else:  # closed loop: vusers back to back
+        async def vuser() -> None:
+            nonlocal issued
+            while not stop_now():
+                issued += 1
+                await one(rng.choices(catalog, weights)[0])
+
+        await asyncio.gather(*(vuser() for _ in range(max(1, config.concurrency))))
+
+    wall_s = time.monotonic() - started
+    status_counts: Dict[str, int] = {}
+    for s in samples:
+        status_counts[s["status"]] = status_counts.get(s["status"], 0) + 1
+    accepted = sorted(s["latency_s"] for s in samples if s["code"] == 200)
+    n_ok = len(accepted)
+    n_cached = sum(1 for s in samples if s["code"] == 200 and s["cached"])
+    server = await target.server_counters()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        **provenance(),
+        "workload": config.describe(),
+        "mode": "open" if config.rate > 0 else "closed",
+        "requests": len(samples),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(samples) / wall_s, 3) if wall_s else 0.0,
+        "status_counts": status_counts,
+        "latency_s": {
+            "p50": round(_percentile(accepted, 0.50), 6),
+            "p90": round(_percentile(accepted, 0.90), 6),
+            "p99": round(_percentile(accepted, 0.99), 6),
+            "mean": round(sum(accepted) / n_ok, 6) if n_ok else 0.0,
+            "max": round(accepted[-1], 6) if accepted else 0.0,
+        },
+        "cache_hit_rate": round(n_cached / n_ok, 4) if n_ok else 0.0,
+        "server": server,
+    }
+
+
+def serve_metrics(bench: Dict[str, Any]) -> MetricsRegistry:
+    """``repro_serve_*`` mirror of one bench — the ``extra_metrics``
+    payload for ``summary_dict`` (inert to ``--compare``, which only
+    reads the ``experiments`` block)."""
+    reg = MetricsRegistry()
+    requests = reg.counter(
+        "repro_serve_requests_total",
+        "Loadgen requests by terminal status",
+        labels=("status",),
+    )
+    for status, count in sorted(bench.get("status_counts", {}).items()):
+        requests.inc(count, status=status)
+    reg.gauge(
+        "repro_serve_throughput_rps", "Loadgen observed throughput"
+    ).set(bench.get("throughput_rps", 0.0))
+    latency = reg.gauge(
+        "repro_serve_latency_seconds",
+        "Accepted-request latency quantiles",
+        labels=("quantile",),
+    )
+    for q in ("p50", "p90", "p99"):
+        latency.set(bench.get("latency_s", {}).get(q, 0.0), quantile=q)
+    reg.gauge(
+        "repro_serve_cache_hit_rate", "Fraction of 200s served from cache"
+    ).set(bench.get("cache_hit_rate", 0.0))
+    server = bench.get("server", {})
+    for key, metric in (
+        ("shed", "repro_serve_shed_total"),
+        ("retries", "repro_serve_retries_total"),
+        ("worker_restarts", "repro_serve_worker_restarts_total"),
+        ("breaker_opens", "repro_serve_breaker_open_total"),
+    ):
+        if server.get(key):
+            reg.counter(metric, f"Server-side {key} over the loadgen run").inc(
+                server[key]
+            )
+    return reg
+
+
+def write_bench(
+    bench: Dict[str, Any],
+    path: "pathlib.Path | str",
+    *,
+    results_dir: "pathlib.Path | str | None" = None,
+) -> List[pathlib.Path]:
+    """Write ``BENCH_SERVE.json``; with ``results_dir``, also merge the
+    ``repro_serve_*`` families into its ``metrics.prom`` (keeping every
+    other family — the same share-the-exposition contract as
+    :func:`repro.chaos.campaign.write_campaign`)."""
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bench, indent=2, default=str) + "\n")
+    written = [path]
+    if results_dir is not None:
+        prom_path = pathlib.Path(results_dir) / "metrics.prom"
+        prom_path.parent.mkdir(parents=True, exist_ok=True)
+        kept = ""
+        if prom_path.exists():
+            kept = "".join(
+                line
+                for line in prom_path.read_text().splitlines(keepends=True)
+                if "repro_serve_" not in line
+            )
+            if kept and not kept.endswith("\n"):
+                kept += "\n"
+        prom_path.write_text(kept + serve_metrics(bench).to_prometheus())
+        written.append(prom_path)
+    return written

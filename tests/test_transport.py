@@ -192,6 +192,29 @@ class TestGiveUp:
         assert report.reason == "unrecovered-delivery"
         assert report.unrecovered == ((0, 1, 1),)
 
+    def test_retry_exhaustion_envelope(self):
+        # The documented give-up envelope, exactly: a down-forever edge
+        # earns one retransmission per unit of budget — no more — then
+        # goes dead.  No timer re-arms afterwards (the run halts well
+        # before the round cap instead of spinning on the dead edge),
+        # and the terminal state is deterministic: an identical rerun
+        # reproduces the fingerprint and every transport counter.
+        budget = 4
+        result = _one_shot_sender(
+            FaultPlan(link_downs=[(0, 1, 1, 150)]), retries=budget
+        )
+        stats = result.transport
+        assert result.stop_reason == "halted"  # gave up, not hung
+        assert result.rounds < 200  # bounded: nowhere near max_rounds
+        assert stats.retransmits == budget  # the budget, spent exactly once
+        assert (0, 1, 1) in stats.unrecovered
+        assert stats.unrecovered_frames == 1  # just the stuck head frame
+        again = _one_shot_sender(
+            FaultPlan(link_downs=[(0, 1, 1, 150)]), retries=budget
+        )
+        assert run_fingerprint(again) == run_fingerprint(result)
+        assert again.transport.as_dict() == stats.as_dict()
+
     def test_give_up_to_halted_peer_is_benign(self):
         # Node 16's final frame to an already-halted peer is abandoned
         # without an unrecovered mark: the peer's program is over, nothing
