@@ -48,6 +48,7 @@ import tempfile
 from typing import Any, Dict, List, Optional
 
 from ..core.verify import VerificationError
+from ..obs.events import attribution_report
 from ..serve.engine import ServeConfig, ServeEngine
 from ..serve.jobs import verify_result
 
@@ -71,7 +72,10 @@ _CATALOG = [
 
 def _chaos_config(cache_dir: str) -> ServeConfig:
     """Engine tuning for deterministic replay: one worker (kills are
-    unambiguous), zero backoff (no clocks), count-based breaker cooldown."""
+    unambiguous), zero backoff (no clocks), count-based breaker cooldown.
+    Tracing is on: the campaign doubles as the proof that every killed
+    worker's orphaned spans close terminally (and that traced outcomes
+    fingerprint identically to the untraced seed trajectory)."""
     return ServeConfig(
         workers=1,
         max_inflight=4,
@@ -82,6 +86,7 @@ def _chaos_config(cache_dir: str) -> ServeConfig:
         restart_backoff_s=0.0,
         wedge_grace_s=60.0,
         cache_dir=cache_dir,
+        trace_requests=True,
     )
 
 
@@ -225,6 +230,14 @@ async def run_serve_campaign(
     fingerprint = hashlib.sha256(
         json.dumps({"seed": seed, "outcomes": outcomes}).encode()
     ).hexdigest()[:16]
+    # The tracing contract under chaos: every request's phase spans fully
+    # attribute its wall time, and no span a SIGKILLed worker abandoned
+    # is left open — both fold into the campaign verdict.
+    trace_report = attribution_report(list(engine.request_traces))
+    trace_ok = (
+        trace_report["complete"] == trace_report["requests"]
+        and trace_report["orphan_spans"] == 0
+    )
     return {
         "seed": seed,
         "requests": len(outcomes),
@@ -235,7 +248,8 @@ async def run_serve_campaign(
         "oracle_checked": oracle_checked,
         "violations": violations,
         "orphan_pids": orphans,
-        "ok": not hung and not violations and not orphans,
+        "trace": trace_report,
+        "ok": not hung and not violations and not orphans and trace_ok,
         "stats": engine.stats(),
     }
 

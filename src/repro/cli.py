@@ -270,6 +270,32 @@ def _cmd_trace_diff(args) -> int:
     return 0
 
 
+def _cmd_trace_serve(args) -> int:
+    from .obs import events as serve_events
+
+    doc = serve_events.load_events(args.dump)
+    cmd = args.trace_serve_command
+    if cmd == "summarize":
+        print(serve_events.render_serve_summary(doc))
+    elif cmd == "critical-path":
+        print(serve_events.render_critical_path(doc))
+    elif cmd == "timeline":
+        print(serve_events.render_timeline(doc, trace=args.trace,
+                                           limit=args.limit))
+    elif cmd == "slow":
+        print(serve_events.render_slow(doc, k=args.top))
+    if cmd in ("summarize", "critical-path"):
+        # The verifying views double as the CI gate: any request whose
+        # phases fail to attribute its wall time, or any span left open,
+        # is a contract violation.
+        report = doc["report"]
+        if report["complete"] != report["requests"] or report["orphan_spans"]:
+            print("FAIL: incomplete attribution or orphan spans",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _campaign_cache(args):
     from .analysis.cache import InstanceCache
 
@@ -515,6 +541,7 @@ def _serve_config(args) -> "ServeConfig":
         breaker_cooldown_s=args.breaker_cooldown,
         cache_dir=cache_dir,
         cache_enabled=cache_dir is not None,
+        trace_requests=getattr(args, "trace_requests", False),
     )
 
 
@@ -523,12 +550,15 @@ def _cmd_serve(args) -> int:
 
     from .serve import run_server
 
+    if args.trace_events and not args.trace_requests:
+        raise SystemExit("--trace-events needs --trace-requests")
     asyncio.run(
         run_server(
             _serve_config(args),
             host=args.host,
             port=args.port,
             metrics_path=args.metrics,
+            events_path=args.trace_events,
         )
     )
     return 0
@@ -546,6 +576,11 @@ def _cmd_loadgen(args) -> int:
         write_bench,
     )
 
+    if args.trace_events and not args.self_contained:
+        raise SystemExit(
+            "--trace-events is --self-contained only; a live server owns "
+            "its own serve-events file (repro serve --trace-events)"
+        )
     config = LoadgenConfig(
         seed=args.seed,
         duration_s=args.duration,
@@ -555,15 +590,23 @@ def _cmd_loadgen(args) -> int:
         zipf_s=args.zipf,
         catalog_size=args.catalog,
         deadline_s=args.deadline,
+        trace=args.trace,
     )
 
     async def drive() -> dict:
         if args.self_contained:
-            engine = ServeEngine(_serve_config(args))
+            serve_config = _serve_config(args)
+            if args.trace or args.trace_events:
+                serve_config.trace_requests = True
+            engine = ServeEngine(serve_config)
             try:
                 return await run_loadgen(config, EngineTarget(engine))
             finally:
                 await engine.drain()
+                if args.trace_events:
+                    lines = engine.flush_events(args.trace_events)
+                    print(f"wrote {args.trace_events}: {lines} "
+                          f"serve-events line(s)")
         host, _, port = args.url.rpartition("//")[2].partition(":")
         return await run_loadgen(config, HttpTarget(host, int(port or "8750")))
 
@@ -763,6 +806,35 @@ def main(argv=None) -> int:
     t_d.add_argument("other", help="trace B (candidate)")
     t_d.set_defaults(func=_cmd_trace_diff)
 
+    t_srv = t_sub.add_parser(
+        "serve",
+        help="analyze a serve-events request-trace JSONL",
+        description="Reconstruct request lifecycles from a serve-events dump "
+        "(written by 'repro serve --trace-requests --trace-events PATH'): "
+        "timelines, the critical path at p50/p99, the slowest requests. "
+        "summarize and critical-path also verify attribution completeness "
+        "the same way 'repro trace phases' verifies round attribution, and "
+        "exit non-zero on a violation (the CI gate).",
+    )
+    ts_sub = t_srv.add_subparsers(dest="trace_serve_command", required=True)
+    for name, blurb in (
+        ("summarize", "aggregate view + attribution/orphan verdict"),
+        ("timeline", "per-request span timelines (worker subtrees included)"),
+        ("critical-path", "which phase dominates p50/p99 latency"),
+        ("slow", "slowest requests with their phase breakdown"),
+    ):
+        ts_p = ts_sub.add_parser(name, help=blurb)
+        ts_p.add_argument("dump", help="serve-events JSONL")
+        if name == "timeline":
+            ts_p.add_argument("--trace", default=None, metavar="ID",
+                              help="show one request by trace id")
+            ts_p.add_argument("--limit", type=int, default=5,
+                              help="requests to render (default 5)")
+        if name == "slow":
+            ts_p.add_argument("--top", type=int, default=5,
+                              help="requests to show (default 5)")
+        ts_p.set_defaults(func=_cmd_trace_serve)
+
     p_c = sub.add_parser(
         "chaos",
         help="seeded chaos campaigns with oracle checks and plan shrinking",
@@ -912,6 +984,16 @@ def main(argv=None) -> int:
                        help="listen port (0 = pick a free one; default 8750)")
     p_srv.add_argument("--metrics", default=None, metavar="PATH",
                        help="flush the final exposition here on shutdown")
+    p_srv.add_argument("--trace-requests", action="store_true",
+                       dest="trace_requests",
+                       help="record request-scoped phase spans (opt-in; "
+                       "responses gain X-Trace-Id, client ids adopted from "
+                       "an X-Trace-Id request header)")
+    p_srv.add_argument("--trace-events", default=None, metavar="PATH",
+                       dest="trace_events",
+                       help="flush the serve-events JSONL here on shutdown "
+                       "(needs --trace-requests; analyze with "
+                       "'repro trace serve')")
     add_pool_args(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
 
@@ -948,6 +1030,14 @@ def main(argv=None) -> int:
     p_lg.add_argument("--results-dir", default=None, metavar="DIR",
                       help="also merge repro_serve_* into DIR/metrics.prom "
                       "(default benchmarks/results when present)")
+    p_lg.add_argument("--trace", action="store_true",
+                      help="mint a deterministic lg-<seed>-<seq> trace id "
+                      "per request (sent as X-Trace-Id; the bench stays "
+                      "bit-identical with or without it)")
+    p_lg.add_argument("--trace-events", default=None, metavar="PATH",
+                      dest="trace_events",
+                      help="(--self-contained only) flush the in-process "
+                      "engine's serve-events JSONL here")
     add_pool_args(p_lg)
     p_lg.set_defaults(func=_cmd_loadgen)
 

@@ -211,6 +211,7 @@ class _ShardEngine:
         trace_wanted: bool,
         edge_histograms: bool,
         metrics_wanted: bool,
+        trace_ctx=None,
     ):
         self.network = network
         self.shard_index = shard_index
@@ -224,6 +225,11 @@ class _ShardEngine:
         self.trace_wanted = trace_wanted
         self.edge_histograms = edge_histograms
         self.metrics_wanted = metrics_wanted
+        #: Request lineage (a picklable ``repro.obs.events.TraceContext``)
+        #: stamped onto this shard — crosses the fork with the engine and
+        #: is echoed back at the start barrier so the coordinator can
+        #: verify every worker carries the same request identity.
+        self.trace_ctx = trace_ctx
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> Dict[str, Any]:
@@ -341,7 +347,13 @@ class _ShardEngine:
                 "congest_node_dispatch_total",
                 "Rounds each node was dispatched (hot-node detection)",
                 labels=("node",))
-        return {"halted": self.halted_count, "active": bool(self.active)}
+        return {
+            "halted": self.halted_count,
+            "active": bool(self.active),
+            "trace": (
+                self.trace_ctx.trace_id if self.trace_ctx is not None else None
+            ),
+        }
 
     # -- trace fragment hooks -------------------------------------------
     def _record_message(self, rnd: int, src: Node, dst: Node, words: int) -> None:
@@ -843,6 +855,14 @@ def run_sharded(
         for v in part:
             shard_of[index[v]] = s
     run_id = trace.begin_run() if trace is not None else 0
+    # Request lineage: a tracer bound to a TraceContext (bind_context)
+    # stamps it onto every shard engine, so a sharded run keeps the same
+    # request identity across the fork as a single-process one.
+    trace_ctx = (
+        getattr(getattr(trace, "tracer", None), "context", None)
+        if trace is not None
+        else None
+    )
     engines = [
         _ShardEngine(
             network, s, part, init, on_round, finalize, faults, transport,
@@ -850,6 +870,7 @@ def run_sharded(
             trace_wanted=trace is not None,
             edge_histograms=(trace._edge_histograms if trace is not None else True),
             metrics_wanted=metrics is not None,
+            trace_ctx=trace_ctx,
         )
         for s, part in enumerate(partition)
     ]
@@ -885,6 +906,13 @@ def run_sharded(
     aborted = True
     try:
         started = broadcast(lambda s: ("start",))
+        if trace_ctx is not None:
+            for s, st in enumerate(started):
+                if st.get("trace") != trace_ctx.trace_id:
+                    raise RuntimeError(
+                        f"shard {s} lost its trace lineage: "
+                        f"{st.get('trace')!r} != {trace_ctx.trace_id!r}"
+                    )
         halted_count = sum(st["halted"] for st in started)
         any_active = any(st["active"] for st in started)
         any_pending = False

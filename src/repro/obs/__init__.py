@@ -18,20 +18,31 @@ with and without them):
   counts, scheduler queue depth) and per unit by the experiment runner.
 * :mod:`.analyze` — offline analysis of trace JSONL dumps, behind the
   ``repro trace summarize|phases|edges|diff`` CLI.
+* :mod:`.events` — request-scoped tracing for the serve stack: a
+  picklable :class:`TraceContext` carried through pool workers and shard
+  engines, a :class:`RequestTrace` span recorder per served request, an
+  :class:`EventLog` ring buffer of structured service events, and the
+  causally-ordered ``serve-events`` JSONL behind
+  ``repro trace serve timeline|critical-path|slow|summarize``.
 
 The full model is documented in ``docs/OBSERVABILITY.md``.
 """
 
+from .events import EventLog, RequestTrace, TraceContext, attribution_report
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracing import NULL_SPAN, Span, Tracer, trace_span
 
 __all__ = [
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "RequestTrace",
     "Span",
+    "TraceContext",
     "Tracer",
+    "attribution_report",
     "trace_span",
 ]

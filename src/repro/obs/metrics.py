@@ -48,12 +48,27 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: Any) -> str:
+    """Label-value escaping per the text exposition format: backslash,
+    double-quote and newline (the one ``chr``-era versions missed)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline (quotes stay bare)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
     if not names:
         return ""
     inner = ",".join(
-        f'{n}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
-        for n, v in zip(names, values)
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
     )
     return "{" + inner + "}"
 
@@ -180,6 +195,27 @@ class Histogram(_Metric):
     def sum(self, **labels: Any) -> float:
         state = self._values.get(self._key(labels))
         return 0.0 if state is None else state["sum"]
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation within the bucket that contains the target rank —
+        the classic ``histogram_quantile`` estimator.  Observations in
+        the overflow bucket clamp to the last finite bound; an empty
+        histogram returns 0.0.
+        """
+        state = self._values.get(self._key(labels))
+        if state is None or not state["count"]:
+            return 0.0
+        target = min(max(q, 0.0), 1.0) * state["count"]
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, state["buckets"]):
+            cumulative += n
+            if n and cumulative >= target:
+                fraction = (target - (cumulative - n)) / n
+                return lower + (bound - lower) * fraction
+            lower = bound
+        return self.buckets[-1]
 
     def samples(self) -> Iterable[Tuple[str, Tuple[str, ...], float]]:
         for key in sorted(self._values):
@@ -319,7 +355,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for metric in self:
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for suffix, label_values, value in metric.samples():
                 labels = _format_labels(metric.labels, label_values)

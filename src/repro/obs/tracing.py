@@ -126,7 +126,7 @@ class Span:
 
     # -- serialization --------------------------------------------------
     def open_event(self) -> Dict[str, Any]:
-        return {
+        event = {
             "kind": "span-open",
             "id": self.id,
             "parent": self.parent_id,
@@ -134,6 +134,12 @@ class Span:
             "name": self.name,
             "attrs": dict(self.attrs),
         }
+        context = getattr(self._tracer, "context", None)
+        if context is not None:
+            # request lineage: every span event names the request that
+            # caused it, so merged sharded dumps keep their ancestry
+            event["trace"] = context.trace_id
+        return event
 
     def close_event(self) -> Dict[str, Any]:
         return {
@@ -173,6 +179,9 @@ class Tracer:
         #: chronological ``(record_index, "open"|"close", span)`` log —
         #: what ``dump_jsonl`` interleaves with the round records
         self.events: List[Any] = []
+        #: optional request lineage (a ``repro.obs.events.TraceContext``
+        #: or any object with a ``trace_id``) — see :meth:`bind_context`
+        self.context = None
         self._stack: List[Span] = []
         self._trace = None
         self._clock = clock
@@ -182,6 +191,19 @@ class Tracer:
         trace.tracer = self
         self._trace = trace
         return trace
+
+    def bind_context(self, context) -> None:
+        """Stamp subsequent span events with a request's trace lineage.
+
+        ``context`` is duck-typed (anything with a ``trace_id``
+        attribute — in practice a :class:`repro.obs.events.TraceContext`;
+        this module deliberately does not import it).  Sharded runs read
+        the bound context off ``trace.tracer`` and propagate it to every
+        shard worker, so merged ``RoundTrace`` spans keep their lineage.
+        Binding is observational only: it never changes which rounds run
+        or how they are attributed.
+        """
+        self.context = context
 
     @property
     def current(self) -> Optional[Span]:

@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..analysis.cache import InstanceCache
+from ..obs.events import EventLog, RequestTrace, TraceContext, write_events
 from ..obs.metrics import MetricsRegistry
 from .jobs import JobError, parse_job, run_job
 from .pool import BROKEN_POOL, CircuitBreaker, SupervisedPool
@@ -95,6 +97,13 @@ class ServeConfig:
     #: Result cache location; ``None`` disables caching entirely.
     cache_dir: Optional[str] = "benchmarks/.cache"
     cache_enabled: bool = True
+    #: Request-scoped tracing (opt-in; a traced run is bit-identical to
+    #: an untraced one — spans are observational only).
+    trace_requests: bool = False
+    #: Finished request records retained for the serve-events flush.
+    trace_capacity: int = 100_000
+    #: Structured-event ring buffer size (always on; feeds /statusz).
+    events_capacity: int = 256
 
 
 @dataclass
@@ -140,6 +149,15 @@ class ServeEngine:
         self._drained = asyncio.Event()
         self._drained.set()
         self._restart_lock = asyncio.Lock()
+        #: Structured service events (pool restarts, breaker flips,
+        #: chaos kills, sheds) — always on, bounded, feeds /statusz and
+        #: the serve-events JSONL.
+        self.events = EventLog(self.config.events_capacity)
+        self.pool.on_event = self.events.emit
+        #: Finished request-trace records (only fed when
+        #: ``config.trace_requests`` is set).
+        self.request_traces: deque = deque(maxlen=self.config.trace_capacity)
+        self._trace_seq = 0
         m = self.metrics
         self._m_requests = m.counter(
             "serve_requests_total", "Terminal responses by status", labels=("status",)
@@ -156,12 +174,21 @@ class ServeEngine:
         )
 
     # ------------------------------------------------------------------
+    def _begin_trace(self, trace_id: Optional[str]) -> Optional[RequestTrace]:
+        if not self.config.trace_requests:
+            return None
+        if trace_id is None:
+            self._trace_seq += 1
+            trace_id = f"req-{self._trace_seq:06d}"
+        return RequestTrace(trace_id)
+
     async def submit(
         self,
         payload: Any,
         *,
         deadline_s: Optional[float] = None,
         on_dispatch: Optional[Callable[["ServeEngine", int], None]] = None,
+        trace_id: Optional[str] = None,
     ) -> ServeResponse:
         """Run one request through the ladder to a terminal response.
 
@@ -174,23 +201,38 @@ class ServeEngine:
         ``on_dispatch(engine, attempt)`` fires right after each pool
         dispatch — the chaos harness's seam for killing the worker that
         just received the job.
+
+        ``trace_id`` adopts a client-minted id for the request trace
+        (with ``config.trace_requests`` on); engine-minted ids are
+        sequential (``req-000001``), so a deterministic admission order
+        yields deterministic ids.
         """
         started = time.monotonic()
+        rt = self._begin_trace(trace_id)
         if self.draining:
-            return self._terminal("draining", {}, started)
+            if rt is not None:
+                rt.add("admit", 0.0, rt.now(), status="draining")
+            return self._terminal("draining", {}, started, rt=rt)
         if self.inflight >= self.config.max_inflight:
             self._m_shed.inc()
+            self.events.emit("shed", trace=rt.trace_id if rt else None,
+                             inflight=self.inflight)
+            if rt is not None:
+                now = rt.now()
+                rt.add("admit", 0.0, now, status="ok")
+                rt.add("shed", now, rt.now(), status="shed")
             return self._terminal(
                 "shed",
                 {"retry_after": self.config.retry_after_s},
                 started,
                 headers={"Retry-After": f"{self.config.retry_after_s:g}"},
+                rt=rt,
             )
         self.inflight += 1
         self._drained.clear()
         self._m_inflight.set_max(self.inflight)
         try:
-            return await self._execute(payload, deadline_s, on_dispatch, started)
+            return await self._execute(payload, deadline_s, on_dispatch, started, rt)
         finally:
             self.inflight -= 1
             if self.inflight == 0:
@@ -202,18 +244,32 @@ class ServeEngine:
         deadline_s: Optional[float],
         on_dispatch: Optional[Callable[["ServeEngine", int], None]],
         started: float,
+        rt: Optional[RequestTrace] = None,
     ) -> ServeResponse:
+        # The "admit" phase covers parse + cache lookup + breaker check.
+        admit = rt.begin("admit") if rt is not None else None
         try:
             spec = parse_job(payload)
         except JobError as exc:
-            return self._terminal("invalid", {"error": str(exc)}, started)
+            if rt is not None:
+                rt.end(admit, "invalid")
+            return self._terminal("invalid", {"error": str(exc)}, started, rt=rt)
         key = spec.key()
         hit, cached_result = self.cache.get("serve-job", [key])
         if hit:
             self._m_cache_hits.inc()
-            return self._terminal("ok", dict(cached_result, cached=True), started)
+            if rt is not None:
+                rt.end(admit, "ok")
+            return self._terminal(
+                "ok", dict(cached_result, cached=True), started, rt=rt
+            )
         if not self.breaker.allow():
-            return self._terminal("breaker-open", {"key": key}, started)
+            if rt is not None:
+                rt.end(admit, "ok")
+                rt.end(rt.begin("breaker-fastfail"), "breaker-open")
+            return self._terminal("breaker-open", {"key": key}, started, rt=rt)
+        if rt is not None:
+            rt.end(admit, "ok")
 
         budget = self.config.deadline_s if deadline_s is None else deadline_s
         deadline_ts = time.time() + budget
@@ -222,52 +278,110 @@ class ServeEngine:
         for attempt in range(attempts):
             remaining = deadline_ts - time.time()
             if remaining <= 0:
-                return self._terminal("deadline", {"key": key}, started)
+                return self._terminal("deadline", {"key": key}, started, rt=rt)
             generation = self.pool.generation
+            dispatch = rt.begin("dispatch") if rt is not None else None
+            dispatch_epoch = time.time()
             try:
-                fut = self.pool.submit(run_job, canonical, deadline_ts)
+                if rt is not None:
+                    ctx = TraceContext(rt.trace_id, span_id=dispatch,
+                                       deadline_ts=deadline_ts)
+                    fut = self.pool.submit(run_job, canonical, deadline_ts, ctx)
+                else:
+                    fut = self.pool.submit(run_job, canonical, deadline_ts)
             except BROKEN_POOL:
+                if rt is not None:
+                    rt.end(dispatch, "killed")
+                self.events.emit("worker-died", trace=rt.trace_id if rt else None,
+                                 attempt=attempt)
                 await self._handle_pool_death(generation)
                 if attempt + 1 < attempts:
                     self._m_retries.inc()
+                    if rt is not None:
+                        rt.end(rt.begin("retry"), "ok")
                     continue
                 return self._terminal(
-                    "worker-died", {"key": key, "attempts": attempt + 1}, started
+                    "worker-died", {"key": key, "attempts": attempt + 1},
+                    started, rt=rt,
                 )
             if on_dispatch is not None:
                 on_dispatch(self, attempt)
+            if rt is not None:
+                rt.end(dispatch, "ok")
+                await_t0 = rt.now()
             try:
                 result = await asyncio.wait_for(asyncio.wrap_future(fut), remaining)
             except asyncio.TimeoutError:
                 # wait_for cancelled the wrapper; if the concurrent future
                 # is already running the worker is wedged — give it grace,
                 # then shoot the generation so the slot comes back.
+                if rt is not None:
+                    rt.add("run", await_t0, rt.now(), status="deadline")
                 if not fut.cancel() and not fut.done():
                     asyncio.get_running_loop().create_task(
                         self._wedge_watchdog(fut, generation)
                     )
-                return self._terminal("deadline", {"key": key}, started)
+                return self._terminal("deadline", {"key": key}, started, rt=rt)
             except BROKEN_POOL:
+                # The worker died mid-span: its subtree never came back,
+                # so the whole awaited interval closes terminally.
+                if rt is not None:
+                    rt.add("run", await_t0, rt.now(), status="killed")
+                self.events.emit("worker-died", trace=rt.trace_id if rt else None,
+                                 attempt=attempt)
                 await self._handle_pool_death(generation)
                 if attempt + 1 < attempts:
                     self._m_retries.inc()
+                    if rt is not None:
+                        rt.end(rt.begin("retry"), "ok")
                     continue
                 return self._terminal(
-                    "worker-died", {"key": key, "attempts": attempt + 1}, started
+                    "worker-died", {"key": key, "attempts": attempt + 1},
+                    started, rt=rt,
                 )
 
             self.pool.note_success()
+            breaker_was = self.breaker.state
             self.breaker.record_success()
+            if breaker_was != "closed" and self.breaker.state == "closed":
+                self.events.emit("breaker-close")
             status = result.get("status", "oracle-violation")
+            worker_trace = result.pop("_trace", None) if isinstance(result, dict) else None
+            verify = None
+            if rt is not None:
+                done = rt.now()
+                if worker_trace is not None:
+                    # Place the worker subtree on the request clock: the
+                    # dispatch->entry epoch gap is the queue wait.
+                    queue_s = max(0.0, worker_trace.get("entry_ts", dispatch_epoch)
+                                  - dispatch_epoch)
+                    pickup = min(await_t0 + queue_s, done)
+                    rt.add("queue", await_t0, pickup)
+                    run_span = rt.add("run", pickup, done)
+                    rt.graft(worker_trace.get("spans", ()), run_span, pickup,
+                             clamp=done)
+                else:
+                    rt.add("run", await_t0, done)
+                verify = rt.begin("verify")
             if status == "ok":
                 self.cache.put("serve-job", [key], result)
-                return self._terminal("ok", dict(result, cached=False), started)
+                if rt is not None:
+                    rt.end(verify, "ok")
+                return self._terminal(
+                    "ok", dict(result, cached=False, attempts=attempt + 1),
+                    started, rt=rt,
+                )
+            if rt is not None:
+                rt.end(verify, status)
             if status == "invalid":
-                return self._terminal("invalid", {"error": result.get("error")}, started)
+                return self._terminal(
+                    "invalid", {"error": result.get("error")}, started, rt=rt
+                )
             if status == "expired":
-                return self._terminal("deadline", {"key": key}, started)
+                return self._terminal("deadline", {"key": key}, started, rt=rt)
             return self._terminal(
-                "oracle-violation", {"key": key, "error": result.get("error")}, started
+                "oracle-violation", {"key": key, "error": result.get("error")},
+                started, rt=rt,
             )
         raise AssertionError("unreachable: retry loop always returns")
 
@@ -281,6 +395,7 @@ class ServeEngine:
             self.breaker.record_failure()
             if self.breaker.opens > opens_before:
                 self._m_breaker.inc()
+                self.events.emit("breaker-open", opens=self.breaker.opens)
             delay = self.pool.backoff_delay()
             if delay > 0:
                 await asyncio.sleep(delay)
@@ -292,6 +407,7 @@ class ServeEngine:
         if fut.done() or self.pool.generation != generation:
             return
         self._m_wedge.inc()
+        self.events.emit("wedge-kill", generation=generation)
         self.pool.kill_all_workers()  # poisons the generation; the next
         # observer's BrokenProcessPool triggers the normal restart path
 
@@ -301,12 +417,27 @@ class ServeEngine:
         body: Dict[str, Any],
         started: float,
         headers: Optional[Dict[str, str]] = None,
+        rt: Optional[RequestTrace] = None,
     ) -> ServeResponse:
         self._m_requests.inc(status=status)
         self._m_latency.observe(time.monotonic() - started)
         out = {"status": status}
         out.update(body)
-        return ServeResponse(STATUS_CODES[status], out, headers or {})
+        headers = dict(headers or {})
+        if rt is not None:
+            respond = rt.begin("respond")
+            rt.end(respond, "ok")
+            # Orphan guarantee: any span still open (a worker killed
+            # mid-span, an abandoned phase) closes terminally here, so
+            # the finished record always validates.
+            rt.force_close_open("killed")
+            self.request_traces.append(
+                rt.finalize(status, STATUS_CODES[status],
+                            attempts=int(body.get("attempts", 1)),
+                            cached=bool(body.get("cached", False)))
+            )
+            headers["X-Trace-Id"] = rt.trace_id
+        return ServeResponse(STATUS_CODES[status], out, headers)
 
     # ------------------------------------------------------------------
     async def drain(self, timeout_s: float = 30.0) -> bool:
@@ -314,6 +445,8 @@ class ServeEngine:
         shut the pool down.  Returns True when everything finished inside
         ``timeout_s`` (stragglers past it resolve as 503s on their own —
         the pool shutdown breaks their futures)."""
+        if not self.draining:
+            self.events.emit("drain", inflight=self.inflight)
         self.draining = True
         try:
             await asyncio.wait_for(self._drained.wait(), timeout_s)
@@ -337,6 +470,17 @@ class ServeEngine:
         """Readiness: admitting traffic with a closed (or probing) breaker."""
         return not self.draining and self.breaker.state != "open"
 
+    def latency_quantiles(self) -> Dict[str, float]:
+        """Server-side latency quantiles straight from the histogram —
+        the :meth:`Histogram.quantile` satellite; consumers no longer
+        recompute them from bucket counts."""
+        h = self._m_latency
+        return {
+            "p50": round(h.quantile(0.50), 6),
+            "p95": round(h.quantile(0.95), 6),
+            "p99": round(h.quantile(0.99), 6),
+        }
+
     def stats(self) -> Dict[str, Any]:
         """Snapshot for ``BENCH_SERVE.json`` and the chaos harness."""
         by_status = {
@@ -352,5 +496,39 @@ class ServeEngine:
             "wedge_kills": self._m_wedge.total,
             "pool_generation": self.pool.generation,
             "breaker_state": self.breaker.state,
+            "latency_s": self.latency_quantiles(),
             "cache": self.cache.stats(),
         }
+
+    def statusz(self, last_events: int = 32) -> Dict[str, Any]:
+        """The ``/statusz`` snapshot: breaker + pool + queue state and
+        the tail of the structured-event ring buffer."""
+        return {
+            "status": "ok",
+            "draining": self.draining,
+            "inflight": self.inflight,
+            "queue_depth": max(0, self.inflight - self.config.workers),
+            "breaker": {
+                "state": self.breaker.state,
+                "failures": self.breaker.failures,
+                "opens": self.breaker.opens,
+            },
+            "pool": {
+                "generation": self.pool.generation,
+                "restarts": self.pool.restarts,
+                "workers": self.config.workers,
+            },
+            "trace": {
+                "enabled": self.config.trace_requests,
+                "requests": len(self.request_traces),
+            },
+            "latency_s": self.latency_quantiles(),
+            "events": self.events.snapshot(last_events),
+        }
+
+    def flush_events(self, path) -> int:
+        """Write the serve-events JSONL (request records interleaved with
+        structured events, per-phase histograms, attribution summary).
+        Returns the number of lines written."""
+        return write_events(path, list(self.request_traces),
+                            self.events.snapshot())

@@ -12,7 +12,16 @@ decision to :class:`~repro.serve.engine.ServeEngine`:
 * ``GET /healthz`` — liveness (200 while the process can serve at all);
 * ``GET /readyz`` — readiness (503 while draining or breaker-open, the
   signal a load balancer uses to stop routing here);
-* ``GET /metrics`` — Prometheus text exposition of the engine registry.
+* ``GET /metrics`` — Prometheus text exposition of the engine registry;
+* ``GET /statusz`` — operator snapshot: breaker state, pool generation,
+  queue depth, in-flight count, latency quantiles and the last N
+  structured events from the engine's ring buffer.
+
+When the engine runs with ``trace_requests``, an ``X-Trace-Id`` request
+header adopts the client's trace id (loadgen mints deterministic ones)
+and every ``POST /jobs`` response carries ``X-Trace-Id`` back; at
+shutdown the server flushes the causally-ordered ``serve-events`` JSONL
+to ``events_path``.
 
 ``SIGTERM``/``SIGINT`` trigger the graceful ladder: stop admitting
 (readyz goes red, new jobs 503 ``draining``), wait for in-flight
@@ -58,11 +67,13 @@ class ServeServer:
         port: int = 8750,
         *,
         metrics_path: Optional[str] = None,
+        events_path: Optional[str] = None,
     ):
         self.engine = engine
         self.host = host
         self.port = port
         self.metrics_path = metrics_path
+        self.events_path = events_path
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop = asyncio.Event()
 
@@ -101,6 +112,8 @@ class ServeServer:
         if self.metrics_path:
             with open(self.metrics_path, "w") as fh:
                 fh.write(self.engine.metrics.to_prometheus())
+        if self.events_path:
+            self.engine.flush_events(self.events_path)
 
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
@@ -143,6 +156,8 @@ class ServeServer:
                 return ServeResponse(200 if ready else 503, body)
             if path == "/metrics":
                 return ServeResponse(200, {"_raw": self.engine.metrics.to_prometheus()})
+            if path == "/statusz":
+                return ServeResponse(200, self.engine.statusz())
             return ServeResponse(404, {"status": "invalid", "error": f"no route {path}"})
         if method == "POST" and path == "/jobs":
             length = int(headers.get("content-length", "0") or "0")
@@ -163,7 +178,10 @@ class ServeServer:
                     return ServeResponse(
                         400, {"status": "invalid", "error": "bad X-Deadline-S"}
                     )
-            return await self.engine.submit(payload, deadline_s=deadline_s)
+            trace_id = headers.get("x-trace-id") or None
+            return await self.engine.submit(
+                payload, deadline_s=deadline_s, trace_id=trace_id
+            )
         return ServeResponse(405, {"status": "invalid", "error": f"{method} {path}"})
 
     @staticmethod
@@ -245,12 +263,15 @@ async def run_server(
     port: int = 8750,
     *,
     metrics_path: Optional[str] = None,
+    events_path: Optional[str] = None,
     announce=print,
 ) -> None:
     """CLI entry: build engine + server, announce the bound port, serve
     until a stop signal, drain."""
     engine = ServeEngine(config)
-    server = ServeServer(engine, host, port, metrics_path=metrics_path)
+    server = ServeServer(
+        engine, host, port, metrics_path=metrics_path, events_path=events_path
+    )
     await server.start()
     announce(f"repro serve listening on http://{server.host}:{server.port}")
     await server.run()

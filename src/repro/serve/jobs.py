@@ -148,7 +148,33 @@ def _build_graph(spec: JobSpec):
     return graph
 
 
-def run_job(canonical: Dict[str, Any], deadline_ts: Optional[float] = None) -> Dict[str, Any]:
+def _serialize_worker_trace(tracer, trace_ctx, entry_ts: float, t_entry: float) -> Dict[str, Any]:
+    """Flatten the worker's span tree into JSON primitives.
+
+    Offsets are seconds relative to the worker's entry (``t_entry`` on
+    the worker's perf-counter clock); ``entry_ts`` is the matching epoch
+    timestamp so the engine can place the subtree on the request's own
+    clock (the gap between dispatch and entry is the queue wait).
+    """
+    spans = []
+    for s in tracer.spans:
+        t0 = max(0.0, s._t0 - t_entry)
+        spans.append({
+            "id": s.id,
+            "parent": s.parent_id or 0,
+            "name": s.name,
+            "status": "ok",
+            "t0": round(t0, 6),
+            "t1": round(t0 + s.wall_s, 6),
+        })
+    return {"trace": trace_ctx.trace_id, "entry_ts": entry_ts, "spans": spans}
+
+
+def run_job(
+    canonical: Dict[str, Any],
+    deadline_ts: Optional[float] = None,
+    trace_ctx: Optional[Any] = None,
+) -> Dict[str, Any]:
     """Execute one job end to end (the worker-pool entry point).
 
     Returns a terminal payload dict, never raises for a job-shaped
@@ -165,6 +191,12 @@ def run_job(canonical: Dict[str, Any], deadline_ts: Optional[float] = None) -> D
       object that failed its own definition check.  Deterministic
       algorithms should make this unreachable; surfacing it (instead of
       trusting the result) is the point of running oracles in-worker.
+
+    When ``trace_ctx`` (a picklable :class:`repro.obs.events.TraceContext`)
+    rides along, the worker attaches a :class:`repro.obs.Tracer` under
+    the request span and returns its span subtree in a reserved
+    ``"_trace"`` key — which the engine strips before caching or
+    responding, so payloads are bit-identical with tracing on or off.
     """
     from ..core.certify import certify_cycle
     from ..core.config import PlanarConfiguration
@@ -179,6 +211,25 @@ def run_job(canonical: Dict[str, Any], deadline_ts: Optional[float] = None) -> D
 
     if deadline_ts is not None and time.time() >= deadline_ts:
         return {"status": "expired"}
+    from ..obs.tracing import NULL_SPAN, Tracer
+
+    tracer = None
+    if trace_ctx is not None:
+        tracer = Tracer()
+        tracer.bind_context(trace_ctx)
+        entry_ts = time.time()
+        t_entry = time.perf_counter()
+        span = tracer.span
+    else:
+        span = lambda name: NULL_SPAN  # noqa: E731 - tracing off allocates nothing
+
+    def _finish(payload: Dict[str, Any]) -> Dict[str, Any]:
+        if tracer is not None:
+            payload["_trace"] = _serialize_worker_trace(
+                tracer, trace_ctx, entry_ts, t_entry
+            )
+        return payload
+
     spec = (
         JobSpec(
             kind="edges",
@@ -195,22 +246,26 @@ def run_job(canonical: Dict[str, Any], deadline_ts: Optional[float] = None) -> D
         )
     )
     try:
-        graph = _build_graph(spec)
-        nodes = sorted(graph.nodes)
-        root = nodes[spec.root % len(nodes)]
-        cfg = PlanarConfiguration.build(graph, root=root)
+        with span("build"):
+            graph = _build_graph(spec)
+            nodes = sorted(graph.nodes)
+            root = nodes[spec.root % len(nodes)]
+            cfg = PlanarConfiguration.build(graph, root=root)
     except (ValueError, KeyError, IndexError, ZeroDivisionError) as exc:
-        return {"status": "invalid", "error": f"{type(exc).__name__}: {exc}"}
+        return _finish({"status": "invalid", "error": f"{type(exc).__name__}: {exc}"})
     try:
-        sep = cycle_separator(cfg)
-        report = separator_report(graph, sep.path)
-        check_separator(graph, sep.path)
-        certificate = certify_cycle(cfg, sep.path)
-        dfs = dfs_tree(graph, root)
-        check_dfs_tree(graph, dfs.parent, root)
+        with span("separator"):
+            sep = cycle_separator(cfg)
+            report = separator_report(graph, sep.path)
+            check_separator(graph, sep.path)
+        with span("certify"):
+            certificate = certify_cycle(cfg, sep.path)
+        with span("dfs"):
+            dfs = dfs_tree(graph, root)
+            check_dfs_tree(graph, dfs.parent, root)
     except VerificationError as exc:
-        return {"status": "oracle-violation", "error": str(exc)}
-    return {
+        return _finish({"status": "oracle-violation", "error": str(exc)})
+    return _finish({
         "status": "ok",
         "job": spec.canonical(),
         "key": spec.key(),
@@ -235,7 +290,7 @@ def run_job(canonical: Dict[str, Any], deadline_ts: Optional[float] = None) -> D
             "separator_phases": dfs.separator_phases,
         },
         "oracles": {"separator": True, "dfs": True},
-    }
+    })
 
 
 def verify_result(result: Dict[str, Any]) -> None:

@@ -75,6 +75,13 @@ class LoadgenConfig:
     sizes: Tuple[int, ...] = (24, 48, 96, 180)
     #: Per-request deadline override (None = server default).
     deadline_s: Optional[float] = None
+    #: Mint a deterministic ``lg-{seed}-{seq:06d}`` trace id per request
+    #: and send it with the job (``X-Trace-Id`` over HTTP), so the
+    #: server's serve-events log attributes every loadgen request.
+    #: Deliberately **not** part of :meth:`describe`: the bench is
+    #: bit-identical with tracing on or off, and the workload identity
+    #: must not change when observability does.
+    trace: bool = False
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -120,9 +127,14 @@ class EngineTarget:
         self.engine = engine
 
     async def submit(
-        self, payload: Dict[str, Any], deadline_s: Optional[float]
+        self,
+        payload: Dict[str, Any],
+        deadline_s: Optional[float],
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
-        resp = await self.engine.submit(payload, deadline_s=deadline_s)
+        resp = await self.engine.submit(
+            payload, deadline_s=deadline_s, trace_id=trace_id
+        )
         return resp.code, resp.body
 
     async def server_counters(self) -> Dict[str, float]:
@@ -135,6 +147,9 @@ class EngineTarget:
             "cache_hits": s["cache_hits"],
         }
 
+    async def server_quantiles(self) -> Dict[str, float]:
+        return dict(self.engine.latency_quantiles())
+
 
 class HttpTarget:
     """Drive a running server over HTTP (the CI smoke path)."""
@@ -144,9 +159,16 @@ class HttpTarget:
         self.port = port
 
     async def submit(
-        self, payload: Dict[str, Any], deadline_s: Optional[float]
+        self,
+        payload: Dict[str, Any],
+        deadline_s: Optional[float],
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any]]:
-        headers = {} if deadline_s is None else {"X-Deadline-S": f"{deadline_s:g}"}
+        headers = {}
+        if deadline_s is not None:
+            headers["X-Deadline-S"] = f"{deadline_s:g}"
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
         code, _, raw = await http_request(
             self.host, self.port, "POST", "/jobs", payload, headers=headers
         )
@@ -166,6 +188,14 @@ class HttpTarget:
             "breaker_opens": samples.get("serve_breaker_open_total", 0),
             "cache_hits": samples.get("serve_cache_hits_total", 0),
         }
+
+    async def server_quantiles(self) -> Dict[str, float]:
+        _, _, raw = await http_request(self.host, self.port, "GET", "/statusz")
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except json.JSONDecodeError:
+            return {}
+        return body.get("latency_s", {})
 
 
 def parse_prometheus(text: str) -> Dict[str, float]:
@@ -212,9 +242,17 @@ async def run_loadgen(config: LoadgenConfig, target) -> Dict[str, Any]:
             config.duration_s and time.monotonic() - started >= config.duration_s
         )
 
-    async def one(payload: Dict[str, Any]) -> None:
+    def mint_trace_id() -> Optional[str]:
+        # Deterministic client-side lineage: the trace id is a function
+        # of (seed, issue order), so re-running the same workload names
+        # the same requests — serve-events logs from two runs line up.
+        if not config.trace:
+            return None
+        return f"lg-{config.seed}-{issued:06d}"
+
+    async def one(payload: Dict[str, Any], trace_id: Optional[str]) -> None:
         t0 = time.monotonic()
-        code, body = await target.submit(payload, config.deadline_s)
+        code, body = await target.submit(payload, config.deadline_s, trace_id)
         samples.append(
             {
                 "status": body.get("status", f"http-{code}"),
@@ -229,7 +267,11 @@ async def run_loadgen(config: LoadgenConfig, target) -> Dict[str, Any]:
         tasks = []
         while not stop_now():
             issued += 1
-            tasks.append(asyncio.ensure_future(one(rng.choices(catalog, weights)[0])))
+            tasks.append(
+                asyncio.ensure_future(
+                    one(rng.choices(catalog, weights)[0], mint_trace_id())
+                )
+            )
             await asyncio.sleep(interval)
         if tasks:
             await asyncio.gather(*tasks)
@@ -238,7 +280,7 @@ async def run_loadgen(config: LoadgenConfig, target) -> Dict[str, Any]:
             nonlocal issued
             while not stop_now():
                 issued += 1
-                await one(rng.choices(catalog, weights)[0])
+                await one(rng.choices(catalog, weights)[0], mint_trace_id())
 
         await asyncio.gather(*(vuser() for _ in range(max(1, config.concurrency))))
 
@@ -250,6 +292,8 @@ async def run_loadgen(config: LoadgenConfig, target) -> Dict[str, Any]:
     n_ok = len(accepted)
     n_cached = sum(1 for s in samples if s["code"] == 200 and s["cached"])
     server = await target.server_counters()
+    quantiles = getattr(target, "server_quantiles", None)
+    server_latency = await quantiles() if quantiles is not None else {}
     return {
         "schema_version": SCHEMA_VERSION,
         **provenance(),
@@ -268,6 +312,10 @@ async def run_loadgen(config: LoadgenConfig, target) -> Dict[str, Any]:
         },
         "cache_hit_rate": round(n_cached / n_ok, 4) if n_ok else 0.0,
         "server": server,
+        # Server-side view of the same latencies, computed by
+        # Histogram.quantile over serve_request_seconds — present with
+        # tracing on or off, so the bench schema never varies with it.
+        "server_latency_s": server_latency,
     }
 
 

@@ -70,7 +70,15 @@ class SupervisedPool:
         self.restarts = 0
         self.death_streak = 0
         self._closed = False
+        #: Optional structured-event sink ``(type, **fields)`` — the
+        #: engine points this at its :class:`repro.obs.events.EventLog`
+        #: so restarts and chaos kills land in the serve-events stream.
+        self.on_event: Optional[Callable[..., object]] = None
         self._pool = self._spawn()
+
+    def _emit(self, type_: str, **fields) -> None:
+        if self.on_event is not None:
+            self.on_event(type_, **fields)
 
     # ------------------------------------------------------------------
     def _spawn(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -121,6 +129,7 @@ class SupervisedPool:
         self._pool = self._spawn()
         old.shutdown(wait=False, cancel_futures=True)
         self._reap(old)
+        self._emit("pool-restart", generation=self.generation, restarts=self.restarts)
         return True
 
     @staticmethod
@@ -159,6 +168,7 @@ class SupervisedPool:
             os.kill(target, signal.SIGKILL)
         except ProcessLookupError:  # already gone
             return None
+        self._emit("worker-kill", pid=target, generation=self.generation)
         return target
 
     def kill_all_workers(self) -> int:

@@ -15,6 +15,7 @@ The load-bearing guarantees locked here:
 """
 
 import json
+import re
 
 import pytest
 
@@ -388,6 +389,32 @@ class TestMetrics:
         assert samples['_bucket{le="1"}'] == 3  # cumulative
         assert samples['_bucket{le="+Inf"}'] == 4
 
+    def test_histogram_quantile_interpolates(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        assert h.quantile(0.5) == 0.0  # no observations yet
+        for v in (0.05, 0.5, 0.5, 0.5, 5.0):
+            h.observe(v)
+        # p20 lands on the single sub-0.1 sample: interpolate inside
+        # [0, 0.1]; p80 sits at the top of the (0.1, 1.0] bucket.
+        assert h.quantile(0.2) == pytest.approx(0.1)
+        assert h.quantile(0.8) == pytest.approx(1.0)
+        # Halfway through the (0.1, 1.0] bucket's three samples.
+        mid = h.quantile(0.5)
+        assert 0.1 < mid < 1.0
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        # Overflow observations clamp to the largest finite bound.
+        spill = Histogram("spill", buckets=(1.0,))
+        spill.observe(100.0)
+        assert spill.quantile(0.99) == 1.0
+
+    def test_histogram_quantile_respects_labels(self):
+        h = Histogram("lat", buckets=(1.0, 10.0), labels=("phase",))
+        h.observe(0.5, phase="run")
+        h.observe(9.0, phase="verify")
+        assert h.quantile(0.5, phase="run") <= 1.0
+        assert h.quantile(0.5, phase="verify") > 1.0
+        assert h.quantile(0.5, phase="missing") == 0.0
+
     def test_registry_get_or_create_and_mismatch(self):
         reg = MetricsRegistry()
         c = reg.counter("x_total")
@@ -429,6 +456,60 @@ class TestMetrics:
                 continue
             name, value = line.rsplit(" ", 1)
             float(value)
+
+    def test_exposition_strict_grammar_round_trip(self):
+        """The text the registry emits must survive a strict parse of the
+        Prometheus exposition grammar — HELP/TYPE precede their samples,
+        label values escape backslash/quote/newline, and histogram
+        ``_bucket{le=...}`` series are cumulative and monotone."""
+        reg = MetricsRegistry()
+        nasty = 'a\\b"c\nd'
+        c = reg.counter("nasty_total", help='has a "quote" and \\slash\n',
+                        labels=("path",))
+        c.inc(3, path=nasty)
+        c.inc(2, path="plain")
+        h = reg.histogram("lat_seconds", help="latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+
+        sample_re = re.compile(
+            r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+            r'(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+            r' (-?[0-9.e+InNaf]+)$'
+        )
+        seen_meta, samples = {}, {}
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                _, kind, name, rest = line.split(" ", 3)
+                # Metadata must precede any sample of that family.
+                assert not any(s.startswith(name) for s in samples), line
+                seen_meta.setdefault(name, set()).add(kind)
+                assert "\n" not in rest  # escaped, not literal
+                continue
+            m = sample_re.match(line)
+            assert m, f"line violates exposition grammar: {line!r}"
+            name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            samples[f"{name}{{{labels}}}"] = float(value)
+            family = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert {"HELP", "TYPE"} <= seen_meta.get(family, set()), line
+
+        # Escaped label value round-trips to the original string.
+        nasty_key = next(k for k in samples if "a\\\\b" in k)
+        assert '\\"' in nasty_key and "\\n" in nasty_key
+        unescaped = (nasty_key.split('="', 1)[1].rsplit('"', 1)[0]
+                     .replace("\\n", "\n").replace('\\"', '"')
+                     .replace("\\\\", "\\"))
+        assert unescaped == nasty
+        assert samples[nasty_key] == 3
+
+        # Bucket series: cumulative, monotone, capped by +Inf == _count.
+        buckets = [v for k, v in samples.items()
+                   if k.startswith("lat_seconds_bucket")]
+        assert buckets == sorted(buckets)
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["lat_seconds_count{}"] == 3
+        assert samples["lat_seconds_sum{}"] == pytest.approx(5.55)
 
     def test_to_dict_is_json(self):
         metrics = MetricsRegistry()

@@ -387,6 +387,38 @@ class TestHttp:
         assert code == 503
         assert body["reason"] == "draining"
 
+    def test_statusz_and_trace_headers(self, tmp_path):
+        async def go():
+            engine = ServeEngine(_config(tmp_path, trace_requests=True))
+            server = ServeServer(engine, port=0)
+            await server.start()
+            try:
+                host, port = server.host, server.port
+                job = await http_request(
+                    host, port, "POST", "/jobs", GRID36,
+                    headers={"X-Trace-Id": "client-42"},
+                )
+                minted = await http_request(host, port, "POST", "/jobs", GRID36)
+                status = await http_request(host, port, "GET", "/statusz")
+                return job, minted, status
+            finally:
+                await server.shutdown()
+
+        job, minted, status = _run(go())
+        # Client-supplied ids win; the engine mints sequential ids otherwise.
+        assert job[1]["x-trace-id"] == "client-42"
+        assert minted[1]["x-trace-id"] == "req-000001"
+        code, _, raw = status
+        body = json.loads(raw)
+        assert code == 200
+        assert body["status"] == "ok" and body["draining"] is False
+        assert body["breaker"]["state"] == "closed"
+        assert body["pool"]["generation"] == 0 and body["pool"]["workers"] == 1
+        assert body["inflight"] == 0 and body["queue_depth"] == 0
+        assert body["trace"] == {"enabled": True, "requests": 2}
+        assert set(body["latency_s"]) == {"p50", "p95", "p99"}
+        assert isinstance(body["events"], list)
+
 
 # -- loadgen + extra metrics -------------------------------------------------
 
@@ -512,6 +544,12 @@ class TestServeChaos:
         terminal = {"ok", "invalid", "shed", "draining",
                     "breaker-open", "deadline", "worker-died"}
         assert set(record["histogram"]) <= terminal
+        # Tracing under chaos: every request fully attributed, every span
+        # a SIGKILLed worker abandoned force-closed (none left open).
+        trace = record["trace"]
+        assert trace["complete"] == trace["requests"] == record["requests"]
+        assert trace["orphan_spans"] == 0
+        assert trace["killed_spans"] > 0  # the kills really severed spans
 
     def test_campaign_is_deterministic(self):
         a = serve_campaign(5, requests=8)
