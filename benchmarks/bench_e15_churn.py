@@ -1,0 +1,40 @@
+"""E15 — churn: incremental separator/DFS repair vs full recompute.
+
+Regenerates the rounds-per-update comparison across update-batch sizes
+{1, 8, 64} on the mid-size triangulated grid (``repro.dynamic``).  Shape:
+at batch size 1 the incremental engine must beat recomputing from
+scratch after every update; at large batch sizes the recompute amortizes
+its cost over the whole batch and wins — the table records where the
+crossover sits.  Both modes replay the *same* seeded edge-flap sequence
+and are held to identical post-update state fingerprints by the dynamic
+test suite, so the rounds columns compare equal work.
+"""
+
+from _common import run_and_emit
+from repro.dynamic import DynamicPipeline
+from repro.planar import generators as gen
+
+_TITLE = "E15 - churn: incremental repair vs full recompute"
+
+
+def _check_shape(rows):
+    by_batch = {row["batch"]: row for row in rows}
+    assert set(by_batch) == {1, 8, 64}, sorted(by_batch)
+    # The headline claim: per-update repair beats per-update recompute.
+    assert by_batch[1]["speedup"] > 1.0, by_batch[1]
+    for row in rows:
+        assert row["incremental_rounds"] > 0 and row["recompute_rounds"] > 0, row
+        assert row["updates"] > 0, row
+
+
+def test_e15_churn(benchmark):
+    rows = run_and_emit("e15", "churn_speedup.txt", _TITLE)
+    _check_shape(rows)
+
+    g = gen.triangulated_grid(9, 9)
+    benchmark(lambda: DynamicPipeline(g, charge_rounds=False))
+
+
+if __name__ == "__main__":
+    rows = run_and_emit("e15", "churn_speedup.txt", _TITLE)
+    _check_shape(rows)

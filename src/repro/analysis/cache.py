@@ -81,6 +81,12 @@ _FINGERPRINTED_SOURCES = (
     "analysis/experiments.py",
     "chaos/scenarios.py",
     "chaos/campaign.py",
+    "chaos/churn.py",
+    "planar/rotation.py",
+    "planar/checks.py",
+    "dynamic/__init__.py",
+    "dynamic/mutations.py",
+    "dynamic/repair.py",
 )
 
 _computed_version: Optional[str] = None

@@ -13,6 +13,10 @@ Three layers:
 * :mod:`.shrink` — reduces a failing fault plan to a minimal explicit
   reproducer (record fired faults, then ddmin) and emits it as a
   ready-to-paste regression test stanza;
+* :mod:`.churn` — topology-level campaigns: seeded edge-flap schedules
+  driven through the incremental repair engine (:mod:`repro.dynamic`)
+  with oracle checks and recompute cross-validation on every unit, and
+  update-sequence shrinking for failures;
 * :mod:`.serve_chaos` — the request-lifecycle campaign against the
   ``repro serve`` stack (real worker SIGKILLs, admission bursts, breaker
   trips, drain): every request terminal, every 200 oracle-checked,
@@ -27,21 +31,35 @@ from .campaign import (
     run_campaign,
     write_campaign,
 )
+from .churn import (
+    CHURN_CAMPAIGNS,
+    ChurnCampaignConfig,
+    ChurnShrinkResult,
+    emit_churn_stanza,
+    run_churn_campaign,
+    shrink_churn_unit,
+)
 from .serve_chaos import run_serve_campaign, serve_campaign, verify_determinism
 from .shrink import RecordingPlan, ShrinkResult, emit_stanza, shrink_unit
 
 __all__ = [
     "CAMPAIGNS",
+    "CHURN_CAMPAIGNS",
     "CampaignConfig",
+    "ChurnCampaignConfig",
+    "ChurnShrinkResult",
     "RecordingPlan",
     "SCENARIOS",
     "ShrinkResult",
     "campaign_metrics",
+    "emit_churn_stanza",
     "emit_stanza",
     "run_campaign",
+    "run_churn_campaign",
     "run_scenario",
     "run_serve_campaign",
     "serve_campaign",
+    "shrink_churn_unit",
     "shrink_unit",
     "verify_determinism",
     "write_campaign",

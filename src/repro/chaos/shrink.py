@@ -61,9 +61,11 @@ class RecordingPlan(FaultPlan):
             drop_rate=base.drop_rate,
             duplicate_rate=base.duplicate_rate,
             corrupt_rate=base.corrupt_rate,
+            edge_flap_rate=base.edge_flap_rate,
             drops=base.drops,
             duplicates=base.duplicates,
             corruptions=base.corruptions,
+            edge_flaps=base.edge_flaps,
             crashes=base.crashes,
             link_downs=base.link_downs,
         )
@@ -101,7 +103,7 @@ def materialize(entries: Sequence[Entry], *, seed: int) -> FaultPlan:
     flipped bit from it, and a reproducer is only a reproducer if the same
     bit flips.
     """
-    drops, dups, corruptions, crashes = [], [], [], []
+    drops, dups, corruptions, flaps, crashes = [], [], [], [], []
     for entry in entries:
         kind = entry[0]
         if kind == "drop":
@@ -110,6 +112,8 @@ def materialize(entries: Sequence[Entry], *, seed: int) -> FaultPlan:
             dups.append(entry[1:])
         elif kind == "corrupt":
             corruptions.append(entry[1:])
+        elif kind == "flap":
+            flaps.append(entry[1:])
         elif kind == "crash":
             crashes.append(entry[1:])
         else:
@@ -119,6 +123,7 @@ def materialize(entries: Sequence[Entry], *, seed: int) -> FaultPlan:
         drops=drops,
         duplicates=dups,
         corruptions=corruptions,
+        edge_flaps=flaps,
         crashes=crashes,
     )
 
@@ -252,12 +257,13 @@ def shrink_unit(
 
 def emit_stanza(result: ShrinkResult) -> str:
     """A ready-to-paste pytest regression stanza for the shrunk plan."""
-    kinds = {"drop": [], "dup": [], "corrupt": [], "crash": []}
+    kinds = {"drop": [], "dup": [], "corrupt": [], "flap": [], "crash": []}
     for entry in result.entries:
         kinds[entry[0]].append(entry[1:])
     plan_args = [f"seed={result.seed}"]
     arg_name = {"drop": "drops", "dup": "duplicates",
-                "corrupt": "corruptions", "crash": "crashes"}
+                "corrupt": "corruptions", "flap": "edge_flaps",
+                "crash": "crashes"}
     for kind, name in arg_name.items():
         if kinds[kind]:
             plan_args.append(f"{name}={kinds[kind]!r}")

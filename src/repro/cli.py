@@ -376,6 +376,72 @@ def _cmd_chaos_run(args) -> int:
     return 0
 
 
+def _cmd_chaos_churn(args) -> int:
+    from .chaos import churn
+
+    config = churn.CHURN_CAMPAIGNS.get(args.campaign)
+    if config is None:
+        raise SystemExit(
+            f"unknown churn campaign {args.campaign!r}; "
+            f"choose from {sorted(churn.CHURN_CAMPAIGNS)}"
+        )
+    summary = churn.run_churn_campaign(
+        config, cache=_campaign_cache(args), retries=args.retries
+    )
+    print(_render_campaign(summary))
+    results_dir = args.results_dir
+    if results_dir is None and pathlib.Path("benchmarks").is_dir():
+        results_dir = "benchmarks/results"
+    if results_dir is not None:
+        from .chaos.campaign import write_campaign
+
+        written = write_campaign(summary, results_dir)
+        print(f"wrote {len(written)} artifact(s) under {results_dir}")
+    bad = summary["coverage"]["violations"] + summary["units_failed"]
+    if args.fail_on_violation and bad:
+        print(f"FAIL: {bad} violation(s)/unit failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos_shrink_churn(args) -> int:
+    from .chaos.churn import emit_churn_stanza, shrink_churn_unit
+
+    unit = {
+        "campaign": "cli",
+        "kind": "churn",
+        "family": args.family,
+        "n": args.n,
+        "graph_seed": args.graph_seed,
+        "seed": args.seed,
+        "flap_rate": args.flap_rate,
+        "rounds": args.rounds,
+        "down_for": args.down_for,
+        "fallback_fraction": 2.0 / 3.0,
+        "repair_bugs": args.repair_bug or [],
+    }
+    try:
+        result = shrink_churn_unit(unit)
+    except (KeyError, ValueError) as exc:
+        print(f"shrink failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"shrunk {result.recorded_updates} recorded update(s) to "
+        f"{len(result.updates)} in {result.tests_run} test run(s); "
+        f"violation: {result.violation}"
+    )
+    print()
+    print(emit_churn_stanza(result))
+    if args.max_entries is not None and len(result.updates) > args.max_entries:
+        print(
+            f"FAIL: minimal sequence has {len(result.updates)} updates "
+            f"(> --max-entries {args.max_entries})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_chaos_shrink(args) -> int:
     from .chaos.shrink import emit_stanza, shrink_unit
 
@@ -872,6 +938,55 @@ def main(argv=None) -> int:
                        help="non-zero exit on any oracle violation or unit "
                        "failure (the CI gate)")
     c_run.set_defaults(func=_cmd_chaos_run)
+
+    c_chn = c_sub.add_parser(
+        "churn",
+        help="run a named churn campaign (seeded edge flaps + repair)",
+        description="Sweep seeded edge-flap schedules through the "
+        "incremental separator/DFS repair engine (repro.dynamic); every "
+        "unit is oracle-checked and cross-validated against a full "
+        "recompute.  See docs/CHAOS.md, 'Churn campaigns'.",
+    )
+    c_chn.add_argument("--campaign", default="smoke",
+                       help="churn campaign name (default 'smoke'; "
+                       "see CHURN_CAMPAIGNS)")
+    c_chn.add_argument("--results-dir", default=None, metavar="DIR",
+                       help="artifact destination (default benchmarks/results "
+                       "when present)")
+    c_chn.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk unit cache")
+    c_chn.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default benchmarks/.cache when present)")
+    c_chn.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="runner retries for a unit that raises (default 1)")
+    c_chn.add_argument("--fail-on-violation", action="store_true",
+                       dest="fail_on_violation",
+                       help="non-zero exit on any oracle violation or unit "
+                       "failure (the CI gate)")
+    c_chn.set_defaults(func=_cmd_chaos_churn)
+
+    c_shc = c_sub.add_parser(
+        "shrink-churn",
+        help="shrink one failing churn unit to a minimal update sequence")
+    c_shc.add_argument("--family", required=True,
+                       help="graph family (see repro.chaos.churn.CHURN_FAMILIES)")
+    c_shc.add_argument("--n", type=int, default=24, help="node count (default 24)")
+    c_shc.add_argument("--graph-seed", type=int, default=1, dest="graph_seed")
+    c_shc.add_argument("--seed", type=int, required=True, help="edge-flap seed")
+    c_shc.add_argument("--flap-rate", type=float, required=True, dest="flap_rate")
+    c_shc.add_argument("--rounds", type=int, default=6,
+                       help="churn rounds (default 6)")
+    c_shc.add_argument("--down-for", type=int, default=1, dest="down_for",
+                       help="rounds a flapped edge stays down (default 1)")
+    c_shc.add_argument("--repair-bug", action="append", dest="repair_bug",
+                       metavar="NAME",
+                       help="inject a named unsound repair rule (repeatable; "
+                       "see repro.dynamic.KNOWN_REPAIR_BUGS)")
+    c_shc.add_argument("--max-entries", type=int, default=None, dest="max_entries",
+                       metavar="N",
+                       help="non-zero exit when the minimal sequence needs "
+                       "more than N updates")
+    c_shc.set_defaults(func=_cmd_chaos_shrink_churn)
 
     c_shr = c_sub.add_parser(
         "shrink", help="shrink one failing grid point to a minimal plan")

@@ -30,6 +30,13 @@ Fault semantics (see docs/MODEL.md, "The fault model"):
   checksum catches it and the frame is retransmitted.
 * **link down-interval** — an undirected edge loses every message, in both
   directions, for a closed round interval.
+* **edge flap** — topology churn: an undirected edge "flaps" in a round,
+  decided by a coin keyed on the *canonical* (sorted) edge so both
+  directions agree.  At the network level a flap behaves as a one-round
+  link outage (both directions lose that round's messages); the dynamic
+  layer (:mod:`repro.dynamic`) additionally interprets the same coins as
+  a seeded edge delete/re-insert schedule, so message-level churn and
+  topology-level churn replay from one seed.
 * **crash-stop** — a node executes rounds ``< r`` and is then silent
   forever: it is never dispatched again, sends nothing, records no output,
   and mail addressed to it is lost.  Crashed nodes count as "done" for
@@ -186,6 +193,12 @@ class FaultPlan:
         Iterable of :class:`CrashFault` or ``(node, round)`` pairs.
     link_downs:
         Iterable of :class:`LinkDown` or ``(u, v, start, end)`` tuples.
+    edge_flap_rate / edge_flaps:
+        Topology churn: per-(undirected edge, round) flap probability and
+        explicit ``(u, v, round)`` flap entries.  The coin is keyed on the
+        canonical (repr-sorted) edge, so :meth:`flaps` answers identically
+        for both directions — the keying contract :mod:`repro.dynamic`
+        relies on when it derives update sequences from the same seed.
     """
 
     def __init__(
@@ -195,9 +208,11 @@ class FaultPlan:
         drop_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         corrupt_rate: float = 0.0,
+        edge_flap_rate: float = 0.0,
         drops: Iterable[Tuple[Node, Node, int]] = (),
         duplicates: Iterable[Tuple[Node, Node, int]] = (),
         corruptions: Iterable[Tuple[Node, Node, int]] = (),
+        edge_flaps: Iterable[Tuple[Node, Node, int]] = (),
         crashes: Iterable = (),
         link_downs: Iterable = (),
     ):
@@ -207,10 +222,13 @@ class FaultPlan:
             raise ValueError(f"duplicate_rate must be in [0, 1], got {duplicate_rate}")
         if not 0.0 <= corrupt_rate <= 1.0:
             raise ValueError(f"corrupt_rate must be in [0, 1], got {corrupt_rate}")
+        if not 0.0 <= edge_flap_rate <= 1.0:
+            raise ValueError(f"edge_flap_rate must be in [0, 1], got {edge_flap_rate}")
         self.seed = seed
         self.drop_rate = drop_rate
         self.duplicate_rate = duplicate_rate
         self.corrupt_rate = corrupt_rate
+        self.edge_flap_rate = edge_flap_rate
         self.drops: FrozenSet[Tuple[Node, Node, int]] = frozenset(
             (s, d, r) for s, d, r in drops
         )
@@ -219,6 +237,11 @@ class FaultPlan:
         )
         self.corruptions: FrozenSet[Tuple[Node, Node, int]] = frozenset(
             (s, d, r) for s, d, r in corruptions
+        )
+        # Explicit flaps are canonicalized to the repr-sorted edge so an
+        # entry given in either direction matches both.
+        self.edge_flaps: FrozenSet[Tuple[Node, Node, int]] = frozenset(
+            (*sorted((u, v), key=repr), r) for u, v, r in edge_flaps
         )
         self.crashes: Tuple[CrashFault, ...] = tuple(
             c if isinstance(c, CrashFault) else CrashFault(*c) for c in crashes
@@ -246,18 +269,39 @@ class FaultPlan:
             self.drop_rate == 0.0
             and self.duplicate_rate == 0.0
             and self.corrupt_rate == 0.0
+            and self.edge_flap_rate == 0.0
             and not self.drops
             and not self.duplicates
             and not self.corruptions
+            and not self.edge_flaps
             and not self.crashes
             and not self.link_downs
         )
 
+    def flaps(self, u: Node, v: Node, rnd: int) -> bool:
+        """Whether undirected edge ``uv`` flaps in round ``rnd``.
+
+        Direction-independent by construction: the coin is keyed on the
+        repr-sorted edge, exactly like the drop/corrupt coins are keyed on
+        the message identity.
+        """
+        a, b = sorted((u, v), key=repr)
+        if (a, b, rnd) in self.edge_flaps:
+            return True
+        if self.edge_flap_rate and _coin(
+            self.seed, "flap", a, b, rnd
+        ) < self.edge_flap_rate:
+            return True
+        return False
+
     def link_is_down(self, src: Node, dst: Node, rnd: int) -> bool:
         intervals = self._down.get(frozenset((src, dst)))
-        if not intervals:
-            return False
-        return any(start <= rnd <= end for start, end in intervals)
+        if intervals and any(start <= rnd <= end for start, end in intervals):
+            return True
+        # A flapping edge is a one-round outage at the message level.
+        if self.edge_flap_rate or self.edge_flaps:
+            return self.flaps(src, dst, rnd)
+        return False
 
     def copies(self, src: Node, dst: Node, rnd: int) -> int:
         """How many copies of the message sent ``src -> dst`` in round
@@ -302,9 +346,11 @@ class FaultPlan:
             "drop_rate": self.drop_rate,
             "duplicate_rate": self.duplicate_rate,
             "corrupt_rate": self.corrupt_rate,
+            "edge_flap_rate": self.edge_flap_rate,
             "drops": sorted(map(repr, self.drops)),
             "duplicates": sorted(map(repr, self.duplicates)),
             "corruptions": sorted(map(repr, self.corruptions)),
+            "edge_flaps": sorted(map(repr, self.edge_flaps)),
             "crashes": sorted(
                 (repr(c.node), c.round) for c in self.crashes
             ),
@@ -315,6 +361,7 @@ class FaultPlan:
                 "drops": len(self.drops),
                 "duplicates": len(self.duplicates),
                 "corruptions": len(self.corruptions),
+                "edge_flaps": len(self.edge_flaps),
                 "crashes": len(self.crashes),
                 "link_downs": len(self.link_downs),
             },

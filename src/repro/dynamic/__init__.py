@@ -1,0 +1,32 @@
+"""Dynamic graphs: planarity-preserving churn and incremental repair.
+
+The package has two layers:
+
+* :mod:`repro.dynamic.mutations` — the mutation model: edge inserts and
+  deletes that keep the instance connected and planar (with its rotation
+  system repaired in place), plus :func:`flap_updates`, the seeded bridge
+  from the fault layer's ``edge_flap`` coins to topology churn.
+* :mod:`repro.dynamic.repair` — :class:`DynamicPipeline`, the incremental
+  separator/DFS repair engine with certified fallback to full recompute,
+  whose every repaired state is oracle-checked before it can be observed.
+"""
+
+from .mutations import (
+    DynamicPlanarGraph,
+    MutationError,
+    Update,
+    apply_updates_graph,
+    flap_updates,
+)
+from .repair import KNOWN_REPAIR_BUGS, DynamicPipeline, UnsoundRepairError
+
+__all__ = [
+    "DynamicPipeline",
+    "DynamicPlanarGraph",
+    "KNOWN_REPAIR_BUGS",
+    "MutationError",
+    "UnsoundRepairError",
+    "Update",
+    "apply_updates_graph",
+    "flap_updates",
+]

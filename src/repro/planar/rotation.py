@@ -39,7 +39,9 @@ class RotationSystem:
     -----
     The class is *mutable only through* :meth:`insert_edge` (used when the
     algorithm adds a virtual fundamental edge to the embedding, Section 3.1.3
-    of the paper); all read access treats the rotation lists as immutable.
+    of the paper) and :meth:`delete_edge` (used by the dynamic-graph layer,
+    :mod:`repro.dynamic`); all read access treats the rotation lists as
+    immutable.
     """
 
     __slots__ = ("_order", "_pos")
@@ -209,6 +211,20 @@ class RotationSystem:
             raise EmbeddingError("self-loops are not supported")
         self._insert_half_edge(u, v, after_u)
         self._insert_half_edge(v, u, after_v)
+        self._rebuild_positions()
+
+    def delete_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``uv`` from the embedding.
+
+        Deleting an edge merges the two faces it borders and can never
+        break planarity, so — unlike :meth:`insert_edge` — the operation
+        needs no positional guidance.  Raises :class:`EmbeddingError` when
+        the edge is not embedded.
+        """
+        if not self.has_edge(u, v):
+            raise EmbeddingError(f"edge {u!r}-{v!r} is not embedded")
+        self._order[u].remove(v)
+        self._order[v].remove(u)
         self._rebuild_positions()
 
     def add_isolated_node(self, v: Node) -> None:

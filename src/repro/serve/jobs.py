@@ -11,6 +11,17 @@ and comes in two shapes:
   ship the graph itself (validated: connected, planar, within the size
   cap).
 
+Either shape may additionally carry ``"updates"`` — an ordered list of
+``["insert"|"delete", u, v]`` mutations applied to the instance *before*
+the pipeline answers (the dynamic-graph job mode).  Updates run through
+:class:`repro.dynamic.repair.DynamicPipeline` in one batch, so the
+response reflects the incrementally repaired (and oracle-checked)
+post-update state, and the ``"dynamic"`` payload block reports the
+repair statistics.  The updates are part of :meth:`JobSpec.canonical`
+— and therefore of the content-addressed :meth:`JobSpec.key` — because
+they change the graph the answer is about: two jobs differing only in
+their update sequence must never share a cache entry.
+
 :func:`parse_job` normalizes either shape into a :class:`JobSpec` whose
 :meth:`JobSpec.key` is a content-addressed digest — the idempotency token
 the service's result cache (:mod:`repro.analysis.cache`) and its bounded
@@ -39,6 +50,7 @@ __all__ = [
     "JobSpec",
     "MAX_EDGES",
     "MAX_N",
+    "MAX_UPDATES",
     "parse_job",
     "run_job",
     "verify_result",
@@ -48,6 +60,7 @@ __all__ = [
 #: (a 10^7-node job is a denial of service, not a request).
 MAX_N = 20_000
 MAX_EDGES = 60_000
+MAX_UPDATES = 2_000
 
 
 class JobError(ValueError):
@@ -64,22 +77,33 @@ class JobSpec:
     seed: int = 0
     root: int = 0
     edges: Tuple[Tuple[int, int], ...] = ()
+    updates: Tuple[Tuple[str, int, int], ...] = ()
 
     def canonical(self) -> Dict[str, Any]:
-        """The JSON-stable identity of the job (what the key digests)."""
+        """The JSON-stable identity of the job (what the key digests).
+
+        ``updates`` determine the post-update graph state the job answers
+        about, so they are part of the identity whenever present — and
+        absent otherwise, keeping static jobs' keys (and their cached
+        results) stable across this extension.
+        """
         if self.kind == "generator":
-            return {
+            out = {
                 "kind": "generator",
                 "family": self.family,
                 "n": self.n,
                 "seed": self.seed,
                 "root": self.root,
             }
-        return {
-            "kind": "edges",
-            "edges": [list(e) for e in self.edges],
-            "root": self.root,
-        }
+        else:
+            out = {
+                "kind": "edges",
+                "edges": [list(e) for e in self.edges],
+                "root": self.root,
+            }
+        if self.updates:
+            out["updates"] = [list(u) for u in self.updates]
+        return out
 
     def key(self) -> str:
         """Content-addressed job identity (idempotency/cache token)."""
@@ -96,6 +120,27 @@ def _require_int(payload: Dict[str, Any], name: str, default: int, lo: int, hi: 
     return value
 
 
+def _parse_updates(payload: Dict[str, Any]) -> Tuple[Tuple[str, int, int], ...]:
+    updates = payload.get("updates", ())
+    if not isinstance(updates, (list, tuple)):
+        raise JobError("'updates' must be a list of [op, u, v] triples")
+    if len(updates) > MAX_UPDATES:
+        raise JobError(f"too many updates ({len(updates)} > {MAX_UPDATES})")
+    normalized = []
+    for entry in updates:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise JobError(f"update {entry!r} is not an [op, u, v] triple")
+        op, u, v = entry
+        if op not in ("insert", "delete"):
+            raise JobError(f"update op must be 'insert' or 'delete', got {op!r}")
+        if any(isinstance(x, bool) or not isinstance(x, int) for x in (u, v)):
+            raise JobError(f"update {entry!r} endpoints must be integers")
+        if u == v:
+            raise JobError(f"self-loop update {entry!r} is not allowed")
+        normalized.append((op, u, v))
+    return tuple(normalized)
+
+
 def parse_job(payload: Any) -> JobSpec:
     """Validate a request body into a :class:`JobSpec`; raises
     :class:`JobError` with a client-facing message on any defect."""
@@ -103,6 +148,7 @@ def parse_job(payload: Any) -> JobSpec:
 
     if not isinstance(payload, dict):
         raise JobError("job body must be a JSON object")
+    updates = _parse_updates(payload)
     if "edges" in payload:
         edges = payload["edges"]
         if not isinstance(edges, list) or not edges:
@@ -122,7 +168,8 @@ def parse_job(payload: Any) -> JobSpec:
             normalized.append((min(e), max(e)))
         root = _require_int(payload, "root", 0, 0, MAX_N)
         return JobSpec(
-            kind="edges", root=root, edges=tuple(sorted(set(normalized)))
+            kind="edges", root=root, edges=tuple(sorted(set(normalized))),
+            updates=updates,
         )
     family = payload.get("family")
     if family not in FAMILY_MAKERS:
@@ -133,7 +180,10 @@ def parse_job(payload: Any) -> JobSpec:
     n = _require_int(payload, "n", 0, 2, MAX_N)
     seed = _require_int(payload, "seed", 0, 0, 2**31)
     root = _require_int(payload, "root", 0, 0, MAX_N)
-    return JobSpec(kind="generator", family=family, n=n, seed=seed, root=root)
+    return JobSpec(
+        kind="generator", family=family, n=n, seed=seed, root=root,
+        updates=updates,
+    )
 
 
 def _build_graph(spec: JobSpec):
@@ -230,11 +280,13 @@ def run_job(
             )
         return payload
 
+    updates = tuple(tuple(u) for u in canonical.get("updates", ()))
     spec = (
         JobSpec(
             kind="edges",
             root=canonical.get("root", 0),
             edges=tuple(tuple(e) for e in canonical.get("edges", ())),
+            updates=updates,
         )
         if canonical.get("kind") == "edges"
         else JobSpec(
@@ -243,8 +295,11 @@ def run_job(
             n=canonical.get("n", 0),
             seed=canonical.get("seed", 0),
             root=canonical.get("root", 0),
+            updates=updates,
         )
     )
+    if spec.updates:
+        return _run_update_job(spec, span, _finish)
     try:
         with span("build"):
             graph = _build_graph(spec)
@@ -293,18 +348,98 @@ def run_job(
     })
 
 
+def _run_update_job(spec: JobSpec, span, _finish) -> Dict[str, Any]:
+    """Execute an update-mode job through the incremental repair engine.
+
+    The updates are applied as one batch to a
+    :class:`~repro.dynamic.repair.DynamicPipeline`, which oracle-checks
+    the repaired state before handing it back — an
+    :class:`~repro.dynamic.repair.UnsoundRepairError` becomes the same
+    ``"oracle-violation"`` terminal the static path uses, and a rejected
+    mutation (planarity break, bridge delete, duplicate edge) is the
+    client's fault: ``"invalid"``.
+    """
+    from ..core.verify import VerificationError, separator_report
+    from ..dynamic.mutations import MutationError
+    from ..dynamic.repair import DynamicPipeline, UnsoundRepairError
+    from ..trees.rooted import RootedTree
+
+    try:
+        with span("build"):
+            graph = _build_graph(spec)
+            nodes = sorted(graph.nodes)
+            root = nodes[spec.root % len(nodes)]
+            pipeline = DynamicPipeline(graph, root=root, charge_rounds=False)
+    except (ValueError, KeyError, IndexError, ZeroDivisionError) as exc:
+        return _finish({"status": "invalid", "error": f"{type(exc).__name__}: {exc}"})
+    try:
+        with span("updates"):
+            pipeline.apply(list(spec.updates))
+    except MutationError as exc:
+        return _finish({"status": "invalid", "error": f"MutationError: {exc}"})
+    except UnsoundRepairError as exc:
+        return _finish({"status": "oracle-violation", "error": str(exc)})
+    except VerificationError as exc:  # pragma: no cover - wrapped above
+        return _finish({"status": "oracle-violation", "error": str(exc)})
+    post = pipeline.graph
+    report = separator_report(post, list(pipeline.separator_path))
+    stats = pipeline.stats
+    return _finish({
+        "status": "ok",
+        "job": spec.canonical(),
+        "key": spec.key(),
+        "n": len(post),
+        "m": post.number_of_edges(),
+        "root": root,
+        "separator": {
+            "path": list(pipeline.separator_path),
+            "size": report.separator_size,
+            "phase": pipeline.separator_phase,
+            "rule": "dynamic-repair",
+            "certificate": pipeline.certificate,
+            "max_fraction": round(report.max_fraction, 6),
+            "balanced": report.balanced,
+        },
+        "dfs": {
+            "parent": sorted(
+                ([v, p] for v, p in pipeline.parent.items()),
+                key=lambda e: repr(e),
+            ),
+            "height": RootedTree(pipeline.parent, root).height(),
+            "phases": stats["batches"],
+            "separator_phases": stats["separator_recomputes"],
+        },
+        "dynamic": {
+            "updates_applied": stats["updates_applied"],
+            "region_repairs": stats["region_repairs"],
+            "fallbacks": stats["fallbacks"],
+            "separator_recomputes": stats["separator_recomputes"],
+            "full_recomputes": stats["full_recomputes"],
+            "state_fingerprint": pipeline.state_fingerprint(),
+        },
+        "oracles": {"separator": True, "dfs": True},
+    })
+
+
 def verify_result(result: Dict[str, Any]) -> None:
     """Independently re-run the oracles against an ``"ok"`` payload.
 
     The chaos harness's outside check: rebuild the instance from the
-    response's own job identity and hold the *returned* separator path
-    and parent map to ``check_separator`` / ``check_dfs_tree``.  Raises
+    response's own job identity — replaying the job's update sequence
+    for update-mode jobs, so the oracles judge the answer against the
+    *post-update* graph it claims to describe — and hold the *returned*
+    separator path and parent map to ``check_separator`` /
+    ``check_dfs_tree``.  Raises
     :class:`repro.core.verify.VerificationError` on any defect.
     """
     from ..core.verify import check_dfs_tree, check_separator
 
     spec = parse_job(result["job"])
     graph = _build_graph(spec)
+    if spec.updates:
+        from ..dynamic.mutations import apply_updates_graph
+
+        graph = apply_updates_graph(graph, list(spec.updates))
     check_separator(graph, result["separator"]["path"])
     parent = {v: p for v, p in result["dfs"]["parent"]}
     check_dfs_tree(graph, parent, result["root"])

@@ -1,0 +1,258 @@
+"""The dynamic-graph layer: mutations, incremental repair, certified
+fallback (docs/MODEL.md, "Dynamic graphs")."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest.faults import FaultPlan
+from repro.core.verify import VerificationError, check_dfs_tree, check_separator
+from repro.dynamic import (
+    DynamicPipeline,
+    DynamicPlanarGraph,
+    MutationError,
+    UnsoundRepairError,
+    apply_updates_graph,
+    flap_updates,
+)
+from repro.planar import generators as gen
+from repro.planar.rotation import EmbeddingError, RotationSystem
+
+
+class TestRotationDelete:
+    def test_delete_reverses_insert(self):
+        rot = RotationSystem.from_graph(gen.grid(3, 3))
+        faces_before = sorted(map(len, rot.faces()))
+        walk = next(w for w in rot.faces() if len(w) >= 4)
+        # grid faces are chordless 4-cycles; add and remove a chord
+        u, v = walk[0], walk[2]
+        rot.insert_edge(u, v, after_u=walk[-1], after_v=walk[1])
+        rot.validate()
+        rot.delete_edge(u, v)
+        rot.validate()
+        assert sorted(map(len, rot.faces())) == faces_before
+
+    def test_delete_missing_edge_raises(self):
+        rot = RotationSystem.from_graph(gen.grid(2, 2))
+        with pytest.raises(EmbeddingError):
+            rot.delete_edge(0, 3)
+
+
+class TestMutations:
+    def test_insert_face_chord_stays_embedded(self):
+        dyn = DynamicPlanarGraph(gen.grid(3, 3))
+        # Any grid face admits a chord without re-embedding.
+        walk = next(w for w in dyn.rotation.faces() if len(w) == 4)
+        dyn.insert_edge(walk[0], walk[2])
+        assert dyn.reembeds == 0
+        dyn.validate()
+
+    def test_insert_planarity_breaker_rejected_atomically(self):
+        # K5: the complete graph on the 4-cycle plus center is planar,
+        # but a grid with every diagonal of one face plus an edge across
+        # is easiest to break via K5 on 5 mutually-connected nodes.
+        g = nx.complete_graph(4)
+        dyn = DynamicPlanarGraph(g)
+        dyn.graph.add_node(4)
+        dyn.rotation.add_isolated_node(4)
+        dyn.insert_edge(4, 0)
+        dyn.insert_edge(4, 1)
+        dyn.insert_edge(4, 2)
+        edges_before = set(map(frozenset, dyn.graph.edges()))
+        with pytest.raises(MutationError):
+            dyn.insert_edge(4, 3)  # completes K5
+        assert set(map(frozenset, dyn.graph.edges())) == edges_before
+        dyn.validate()
+
+    def test_delete_bridge_rejected(self):
+        dyn = DynamicPlanarGraph(gen.path_graph(4))
+        with pytest.raises(MutationError):
+            dyn.delete_edge(1, 2)
+        assert dyn.graph.has_edge(1, 2)
+        dyn.validate()
+
+    def test_duplicate_and_missing_updates(self):
+        dyn = DynamicPlanarGraph(gen.grid(2, 2))
+        with pytest.raises(MutationError):
+            dyn.apply(("insert", 0, 1))
+        with pytest.raises(MutationError):
+            dyn.apply(("delete", 0, 3))
+        # lenient mode skips instead
+        assert dyn.apply(("insert", 0, 1), strict=False) is False
+
+    def test_apply_updates_graph_replays(self):
+        g = gen.grid(3, 3)
+        e = sorted(g.edges())[0]
+        out = apply_updates_graph(g, [("delete", *e), ("insert", *e)])
+        assert set(map(frozenset, out.edges())) == set(map(frozenset, g.edges()))
+
+
+class TestFlapUpdates:
+    def test_deterministic_and_net_neutral(self):
+        g = gen.delaunay(30, seed=2)
+        a = flap_updates(g, seed=7, rate=0.05, rounds=6)
+        b = flap_updates(g, seed=7, rate=0.05, rounds=6)
+        assert a == b
+        replayed = apply_updates_graph(g, [u for batch in a for u in batch])
+        assert set(map(frozenset, replayed.edges())) == set(
+            map(frozenset, g.edges())
+        )
+
+    def test_schedule_strictly_applicable(self):
+        # Bridge-aware scheduling: every emitted update applies strictly.
+        g = gen.outerplanar(30, chords=6, seed=2)
+        batches = flap_updates(g, seed=0, rate=0.1, rounds=8)
+        dyn = DynamicPlanarGraph(g)
+        for batch in batches:
+            for update in batch:
+                assert dyn.apply(update, strict=True)
+
+    def test_keyed_by_fault_coins(self):
+        # An explicit edge_flaps schedule drives the same machinery.
+        g = gen.grid(3, 3)
+        e = sorted(g.edges())[2]
+        plan = FaultPlan(seed=1, edge_flaps=[(e[0], e[1], 1)])
+        batches = flap_updates(g, seed=1, rate=0.0, rounds=2, plan=plan)
+        assert ("delete", e[0], e[1]) in batches[0]
+        assert ("insert", e[0], e[1]) in batches[1]
+
+
+class TestEdgeFlapFaultPlan:
+    def test_flap_coin_is_direction_symmetric(self):
+        plan = FaultPlan(seed=9, edge_flap_rate=0.5)
+        fired = [
+            (u, v, r)
+            for u, v, r in [(0, 1, 1), (3, 4, 2), (5, 2, 3)]
+        ]
+        for u, v, r in fired:
+            assert plan.flaps(u, v, r) == plan.flaps(v, u, r)
+
+    def test_flap_downs_the_link_at_message_level(self):
+        plan = FaultPlan(seed=3, edge_flaps=[(0, 1, 2)])
+        assert not plan.link_is_down(0, 1, 1)
+        assert plan.link_is_down(0, 1, 2)
+        assert plan.link_is_down(1, 0, 2)
+        assert not plan.is_empty
+        described = plan.describe()
+        assert described["counts"]["edge_flaps"] == 1
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, edge_flap_rate=1.5)
+
+
+class TestDynamicPipeline:
+    def test_every_batch_is_oracle_checked(self):
+        g = gen.delaunay(40, seed=3)
+        pipeline = DynamicPipeline(g)
+        for batch in flap_updates(g, seed=11, rate=0.02, rounds=6):
+            pipeline.apply(batch)
+            check_separator(pipeline.graph, list(pipeline.separator_path))
+            check_dfs_tree(pipeline.graph, pipeline.parent, pipeline.root)
+
+    def test_fingerprint_parity_incremental_vs_recompute(self):
+        # Satellite 3(b): both modes agree on the logical state after the
+        # same update sequence.
+        for family, graph in [
+            ("delaunay", gen.delaunay(36, seed=4)),
+            ("tri-grid", gen.triangulated_grid(5, 5)),
+        ]:
+            batches = flap_updates(graph, seed=5, rate=0.04, rounds=5)
+            inc = DynamicPipeline(graph, mode="incremental")
+            rec = DynamicPipeline(graph, mode="recompute")
+            for batch in batches:
+                inc.apply(batch)
+                rec.apply(batch)
+            assert inc.state_fingerprint() == rec.state_fingerprint(), family
+
+    def test_fallback_triggers_exactly_at_the_bound(self):
+        # Satellite 3(a): a repair region one node over the configured
+        # bound falls back; at the bound it repairs locally.  The star's
+        # DFS tree puts every leaf under the hub, so deleting a hub-leaf
+        # tree edge... is a bridge; use a fan instead: deleting the tree
+        # edge into the fan's spine forces a region of known size.
+        g = gen.triangulated_grid(4, 4)
+        n = len(g)
+        pipeline = DynamicPipeline(g, fallback_fraction=1.0)
+        # Find a tree edge whose deletion repairs a region of size k.
+        tree = pipeline.tree
+        child = max(
+            (v for v in g.nodes if pipeline.parent.get(v) is not None),
+            key=lambda v: tree.subtree_size[v],
+        )
+        edge = (child, pipeline.parent[child])
+        if not nx.is_connected(nx.restricted_view(g, [], [edge])):
+            pytest.skip("chosen tree edge is a bridge on this instance")
+        # Region root is the shallowest attachment; its subtree size is
+        # the region size the repair will see.
+        members = set()
+        stack = [child]
+        while stack:
+            v = stack.pop()
+            members.add(v)
+            stack.extend(tree.children[v])
+        best = min(
+            (
+                y
+                for x in members
+                for y in g.neighbors(x)
+                if y not in members and {x, y} != set(edge)
+            ),
+            key=lambda y: tree.depth[y],
+        )
+        region = tree.subtree_size[best]
+
+        at_bound = DynamicPipeline(g, fallback_fraction=region / n)
+        assert at_bound.fallback_bound() == region
+        at_bound.apply([("delete", *edge)])
+        assert at_bound.stats["fallbacks"] == 0
+        assert at_bound.stats["region_repairs"] == 1
+
+        below = DynamicPipeline(g, fallback_fraction=(region - 1) / n)
+        assert below.fallback_bound() == region - 1
+        below.apply([("delete", *edge)])
+        assert below.stats["fallbacks"] == 1
+        assert below.stats["region_repairs"] == 0
+
+    def test_unsound_repair_raises_instead_of_returning(self):
+        # Satellite 3(c): with a deliberately broken repair rule the
+        # oracles fire and the pipeline never hands back a broken state.
+        g = gen.triangulated_grid(5, 5)
+        batches = flap_updates(g, seed=18, rate=0.03, rounds=8)
+        pipeline = DynamicPipeline(
+            g, repair_bugs=frozenset({"ignore-separator-merge"})
+        )
+        with pytest.raises(UnsoundRepairError):
+            for batch in batches:
+                pipeline.apply(batch)
+
+    def test_keep_cross_edges_bug_is_caught(self):
+        g = gen.delaunay(40, seed=3)
+        batches = flap_updates(g, seed=11, rate=0.02, rounds=6)
+        pipeline = DynamicPipeline(
+            g, repair_bugs=frozenset({"keep-cross-edges"})
+        )
+        with pytest.raises(UnsoundRepairError) as err:
+            for batch in batches:
+                pipeline.apply(batch)
+        assert isinstance(err.value, VerificationError)
+
+    def test_unknown_bug_and_mode_rejected(self):
+        g = gen.grid(3, 3)
+        with pytest.raises(ValueError):
+            DynamicPipeline(g, mode="lazy")
+        with pytest.raises(ValueError):
+            DynamicPipeline(g, repair_bugs=frozenset({"no-such-bug"}))
+
+    def test_fallback_bound_formula(self):
+        g = gen.grid(4, 4)
+        pipeline = DynamicPipeline(g, fallback_fraction=2 / 3)
+        assert pipeline.fallback_bound() == math.floor(2 * len(g) / 3)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        pipeline = DynamicPipeline(gen.grid(3, 3))
+        pipeline.apply([])
+        json.dumps(pipeline.describe())

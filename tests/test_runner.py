@@ -22,8 +22,8 @@ from repro.cli import main
 
 
 class TestRegistry:
-    def test_all_fourteen_discoverable(self):
-        assert registry.all_keys() == [f"e{i}" for i in range(1, 15)]
+    def test_all_fifteen_discoverable(self):
+        assert registry.all_keys() == [f"e{i}" for i in range(1, 16)]
 
     def test_claim_refs_and_titles_nonempty(self):
         for key in registry.all_keys():

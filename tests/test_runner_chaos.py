@@ -192,7 +192,7 @@ class TestRegistryHygiene:
     def test_injected_specs_are_gone_after_the_suite(self):
         # The canonical key list must be untouched by the chaos machinery
         # (test_runner.py locks the same invariant independently).
-        assert registry.all_keys() == [f"e{i}" for i in range(1, 15)]
+        assert registry.all_keys() == [f"e{i}" for i in range(1, 16)]
 
     def test_duplicate_registration_rejected(self):
         units = [{"i": 0}]

@@ -1,0 +1,127 @@
+"""Update-mode serve jobs: parsing, keys, execution, verification."""
+
+import pytest
+
+from repro.serve.jobs import (
+    MAX_UPDATES,
+    JobError,
+    parse_job,
+    run_job,
+    verify_result,
+)
+
+
+def _an_edge(family="delaunay", n=30, seed=3, index=5):
+    from repro.cli import FAMILY_MAKERS
+
+    return sorted(FAMILY_MAKERS[family](n, seed).edges())[index]
+
+
+class TestParsing:
+    def test_updates_validated(self):
+        base = {"family": "delaunay", "n": 30, "seed": 3}
+        with pytest.raises(JobError):
+            parse_job({**base, "updates": "drop table"})
+        with pytest.raises(JobError):
+            parse_job({**base, "updates": [["insert", 1]]})
+        with pytest.raises(JobError):
+            parse_job({**base, "updates": [["upsert", 1, 2]]})
+        with pytest.raises(JobError):
+            parse_job({**base, "updates": [["insert", 1, 1]]})
+        with pytest.raises(JobError):
+            parse_job({**base, "updates": [["insert", True, 2]]})
+        with pytest.raises(JobError):
+            parse_job(
+                {**base, "updates": [["insert", 0, 1]] * (MAX_UPDATES + 1)}
+            )
+
+    def test_updates_accepted_on_both_shapes(self):
+        gen_spec = parse_job(
+            {"family": "delaunay", "n": 30, "seed": 3,
+             "updates": [["delete", 0, 1]]}
+        )
+        assert gen_spec.updates == (("delete", 0, 1),)
+        edge_spec = parse_job(
+            {"edges": [[0, 1], [1, 2], [0, 2]],
+             "updates": [["delete", 0, 2]]}
+        )
+        assert edge_spec.updates == (("delete", 0, 2),)
+
+
+class TestKeys:
+    def test_static_job_key_unchanged_by_extension(self):
+        # A job without updates canonicalizes exactly as before the
+        # dynamic extension — cached results stay addressable.
+        spec = parse_job({"family": "delaunay", "n": 30, "seed": 3})
+        assert "updates" not in spec.canonical()
+
+    def test_jobs_differing_only_in_updates_never_collide(self):
+        # Satellite 6: the update sequence determines the post-update
+        # graph, so it is part of the content-addressed key.
+        base = {"family": "delaunay", "n": 30, "seed": 3}
+        static = parse_job(base)
+        one = parse_job({**base, "updates": [["delete", 0, 1]]})
+        other = parse_job({**base, "updates": [["delete", 0, 2]]})
+        reordered = parse_job(
+            {**base, "updates": [["delete", 0, 1], ["insert", 0, 1]]}
+        )
+        keys = {static.key(), one.key(), other.key(), reordered.key()}
+        assert len(keys) == 4
+
+    def test_edge_jobs_differing_only_in_updates_never_collide(self):
+        base = {"edges": [[0, 1], [1, 2], [0, 2]]}
+        a = parse_job({**base, "updates": [["delete", 0, 1]]})
+        b = parse_job({**base, "updates": [["delete", 1, 2]]})
+        assert a.key() != b.key()
+
+
+class TestExecution:
+    def test_update_job_runs_and_verifies(self):
+        e = _an_edge()
+        spec = parse_job(
+            {"family": "delaunay", "n": 30, "seed": 3,
+             "updates": [["delete", int(e[0]), int(e[1])],
+                         ["insert", int(e[0]), int(e[1])]]}
+        )
+        result = run_job(spec.canonical())
+        assert result["status"] == "ok"
+        assert result["separator"]["rule"] == "dynamic-repair"
+        assert result["dynamic"]["updates_applied"] == 2
+        assert result["job"]["updates"] == [
+            ["delete", int(e[0]), int(e[1])],
+            ["insert", int(e[0]), int(e[1])],
+        ]
+        # the outside check replays the updates before judging the answer
+        verify_result(result)
+
+    def test_answer_reflects_post_update_graph(self):
+        e = _an_edge()
+        spec = parse_job(
+            {"family": "delaunay", "n": 30, "seed": 3,
+             "updates": [["delete", int(e[0]), int(e[1])]]}
+        )
+        result = run_job(spec.canonical())
+        assert result["status"] == "ok"
+        static = run_job(
+            parse_job({"family": "delaunay", "n": 30, "seed": 3}).canonical()
+        )
+        assert result["m"] == static["m"] - 1
+
+    def test_inapplicable_update_is_invalid_not_crash(self):
+        spec = parse_job(
+            {"family": "delaunay", "n": 30, "seed": 3,
+             "updates": [["delete", 0, 999]]}
+        )
+        result = run_job(spec.canonical())
+        assert result["status"] == "invalid"
+        assert "MutationError" in result["error"]
+
+    def test_planarity_breaking_insert_is_invalid(self):
+        # K5 on the edge-list shape: the 10th edge breaks planarity.
+        edges = [[u, v] for u in range(5) for v in range(u + 1, 5)]
+        spec = parse_job(
+            {"edges": edges[:9], "updates": [["insert", 3, 4]]}
+        )
+        assert [3, 4] not in edges[:9] or True
+        result = run_job(spec.canonical())
+        assert result["status"] == "invalid"
